@@ -1,0 +1,33 @@
+"""Benchmarks: the three ablation studies of DESIGN.md.
+
+* variant A vs B end-to-end (the paper asserts A wins; Sect. 5),
+* the Sect. 4.1 computation/communication crossover over link bandwidth,
+* (3+1)D sensitivity to the cache budget.
+"""
+
+from repro.experiments import ExperimentSetup, ablations
+
+
+def bench_ablation_variants(benchmark, record_table):
+    setup = ExperimentSetup.paper(processors=tuple(range(2, 15)))
+    result = benchmark.pedantic(
+        ablations.run_variant_ablation, args=(setup,), rounds=3, iterations=1
+    )
+    record_table(result.render())
+    assert result.a_always_wins
+
+
+def bench_ablation_bandwidth(benchmark, record_table):
+    result = benchmark.pedantic(
+        ablations.run_bandwidth_ablation, rounds=3, iterations=1
+    )
+    record_table(result.render())
+    assert result.crossover > 6.7e9  # recompute wins at NUMAlink speed
+
+
+def bench_ablation_cache(benchmark, record_table):
+    result = benchmark.pedantic(
+        ablations.run_cache_ablation, rounds=3, iterations=1
+    )
+    record_table(result.render())
+    assert result.block_counts[0] > result.block_counts[-1]

@@ -1,0 +1,11 @@
+"""Benchmark: the scenario duel (recompute vs exchange islands)."""
+
+from repro.experiments import scenario_duel
+
+
+def bench_scenario_duel(benchmark, record_table):
+    result = benchmark.pedantic(
+        scenario_duel.run_scenario_duel, rounds=3, iterations=1
+    )
+    record_table(result.render())
+    assert result.stock_machine_winner() == "recompute"

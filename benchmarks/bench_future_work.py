@@ -1,0 +1,38 @@
+"""Benchmarks: the Sect. 6 future-work studies.
+
+Not tables from the paper — predictions the paper proposes to produce:
+2D processor grids, nested (intra-CPU) islands, and cluster-scale MPI
+projection.
+"""
+
+from repro.experiments import ExperimentSetup, future_work
+from repro.experiments.ablations import run_placement_ablation
+
+
+def bench_future_partition_study(benchmark, record_table):
+    setup = ExperimentSetup.paper(processors=(8, 12, 14))
+    result = benchmark.pedantic(
+        future_work.run_partition_study, args=(setup,), rounds=3, iterations=1
+    )
+    record_table(result.render())
+    assert result.best_label(14).startswith(("1D", "2D"))
+
+
+def bench_future_two_level(benchmark, record_table):
+    result = benchmark.pedantic(
+        future_work.run_two_level_study, rounds=3, iterations=1
+    )
+    record_table(result.render())
+
+
+def bench_future_cluster(benchmark, record_table):
+    result = benchmark.pedantic(
+        future_work.run_cluster_projection, rounds=3, iterations=1
+    )
+    record_table(result.render())
+    assert result.islands_seconds[-1] < result.islands_seconds[0]
+
+
+def bench_placement_ablation(benchmark, record_table):
+    result = benchmark.pedantic(run_placement_ablation, rounds=3, iterations=1)
+    record_table(result.render())

@@ -1,0 +1,22 @@
+"""Benchmarks: the generality studies (gallery applications, chain depth)."""
+
+from repro.experiments import generality
+
+
+def bench_generality_gallery(benchmark, record_table):
+    result = benchmark.pedantic(
+        generality.run_generality_study, rounds=3, iterations=1
+    )
+    record_table(result.render())
+    # The deep heterogeneous chain must gain most.
+    for row in result.rows:
+        if row[0] != "mpdata":
+            assert result.s_pr_of("mpdata") > row[5]
+
+
+def bench_generality_depth(benchmark, record_table):
+    result = benchmark.pedantic(
+        generality.run_depth_study, rounds=3, iterations=1
+    )
+    record_table(result.render())
+    assert list(result.s_pr) == sorted(result.s_pr)

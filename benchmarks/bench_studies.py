@@ -1,0 +1,25 @@
+"""Benchmarks: energy, autotune and deviation studies."""
+
+from repro.experiments import autotune_study, deviation, energy_study
+
+
+def bench_energy_study(benchmark, record_table):
+    result = benchmark.pedantic(
+        energy_study.run_energy_study, rounds=3, iterations=1
+    )
+    record_table(result.render())
+    assert result.islands_energy_optimal_p() == 14
+
+
+def bench_autotune_study(benchmark, record_table):
+    result = benchmark.pedantic(
+        autotune_study.run_autotune_study, rounds=2, iterations=1
+    )
+    record_table(result.render())
+    assert result.tuned_seconds <= result.heuristic_seconds * (1 + 1e-9)
+
+
+def bench_deviation_report(benchmark, record_table):
+    result = benchmark.pedantic(deviation.run, rounds=2, iterations=1)
+    record_table(result.render())
+    assert result.mean_error() < 7.0

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 1 (original x2 placements, pure (3+1)D)."""
+
+from repro.experiments import ExperimentSetup, table1
+
+
+def bench_table1(benchmark, record_table):
+    setup = ExperimentSetup.paper()
+    result = benchmark.pedantic(table1.run, args=(setup,), rounds=3, iterations=1)
+    record_table(result.render())
+    assert result.max_relative_error() < 0.15

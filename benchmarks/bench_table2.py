@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 2 (extra elements, variants A and B).
+
+This is the pure-analysis experiment: 2 x 14 backward halo propagations
+over the 17-stage MPDATA program on the full 1024 x 512 x 64 domain.
+"""
+
+from repro.core import Variant
+from repro.experiments import table2
+
+
+def bench_table2(benchmark, record_table):
+    result = benchmark.pedantic(table2.run, rounds=3, iterations=1)
+    record_table(result.render())
+    assert result.variant_a_model[0] == 0.0
+    assert result.per_cut_percent(Variant.B) > result.per_cut_percent(Variant.A)

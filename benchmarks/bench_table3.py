@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 3 and both panels of Fig. 2.
+
+The headline experiment — original vs pure (3+1)D vs islands-of-cores
+across P = 1..14, with the S_pr and S_ov speedups.
+"""
+
+from repro.experiments import ExperimentSetup, table3
+
+
+def bench_table3_and_fig2(benchmark, record_table):
+    setup = ExperimentSetup.paper()
+    result = benchmark.pedantic(table3.run, args=(setup,), rounds=3, iterations=1)
+    record_table(result.render())
+    record_table(result.render_fig2a())
+    record_table(result.render_fig2b())
+    # Headline shape checks.
+    assert result.s_pr_model[-1] > 9.0  # "more than 10 times" at P = 14
+    assert result.crossover_processors() in (3, 4, 5)  # paper: P = 4

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 4 (sustained Gflop/s, utilization,
+parallel efficiency of the islands-of-cores approach)."""
+
+from repro.experiments import ExperimentSetup, table4
+
+
+def bench_table4(benchmark, record_table):
+    setup = ExperimentSetup.paper()
+    result = benchmark.pedantic(table4.run, args=(setup,), rounds=3, iterations=1)
+    record_table(result.render())
+    assert result.sustained_model[-1] > 370.0  # paper: 390.1 Gflop/s
+    assert 25.0 < result.utilization_model[-1] < 33.0  # paper: 26.3 %

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate the Sect. 3.2 traffic claim (133 GB -> 30 GB,
+2.8x on one Xeon E5-2660v2, 50 steps of 256 x 256 x 64)."""
+
+from repro.experiments import traffic_claim
+
+
+def bench_traffic_claim(benchmark, record_table):
+    result = benchmark.pedantic(traffic_claim.run, rounds=3, iterations=1)
+    record_table(result.render())
+    assert abs(result.original_gb_model - 133.0) / 133.0 < 0.05
+    assert result.fused_gb_model < 35.0

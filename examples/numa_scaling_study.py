@@ -1,0 +1,56 @@
+"""NUMA scaling study: the paper's evaluation, end to end.
+
+Regenerates Tables 1-4 and both panels of Fig. 2 on the modelled SGI UV
+2000, printing each next to the paper's published numbers, then breaks the
+P = 14 islands run down into compute / transfer / barrier / overhead.
+
+    python examples/numa_scaling_study.py
+"""
+
+from repro.experiments import ExperimentSetup, table1, table2, table3, table4
+from repro.machine import simulate
+from repro.sched import build_islands_plan
+
+
+def main() -> None:
+    setup = ExperimentSetup.paper()
+
+    print(table1.run(setup).render())
+    print()
+    print(table2.run().render())
+    print()
+
+    t3 = table3.run(setup)
+    print(t3.render())
+    print()
+    print(t3.render_fig2a())
+    print()
+    print(t3.render_fig2b())
+    print()
+    print(table4.run(setup).render())
+
+    # Where does the time go at full machine scale?
+    result = simulate(
+        build_islands_plan(
+            setup.program, setup.shape, setup.steps, 14,
+            setup.machine, setup.costs,
+        )
+    )
+    print()
+    print(f"islands-of-cores at P = 14: {result.total_seconds:.2f} s, "
+          f"{result.gflops:.1f} Gflop/s sustained")
+    for bucket, seconds in sorted(
+        result.breakdown().items(), key=lambda kv: -kv[1]
+    ):
+        share = 100.0 * seconds / result.total_seconds
+        print(f"  {bucket:10s} {seconds:6.3f} s  ({share:4.1f} %)")
+
+    print()
+    print(
+        f"crossover where the original overtakes pure (3+1)D: "
+        f"P = {t3.crossover_processors()} (paper: P = 4)"
+    )
+
+
+if __name__ == "__main__":
+    main()

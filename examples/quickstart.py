@@ -1,0 +1,54 @@
+"""Quickstart: advect a scalar blob with MPDATA and verify the islands
+transformation is exact.
+
+Runs in a few seconds on a laptop:
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import Variant
+from repro.mpdata import MpdataSolver, translation_state
+from repro.runtime import MpdataIslandSolver
+
+SHAPE = (64, 32, 16)
+STEPS = 20
+
+
+def main() -> None:
+    # A Gaussian blob advected diagonally under periodic boundaries.
+    state = translation_state(SHAPE, courant=(0.2, 0.1, 0.05), sigma=4.0)
+
+    print(f"Grid {SHAPE}, {STEPS} steps, Courant (0.2, 0.1, 0.05)")
+    print(f"initial mass  = {state.x.sum():.6f}")
+    print(f"initial peak  = {state.x.max():.6f}")
+
+    # Whole-domain run: the reference execution.
+    solver = MpdataSolver(SHAPE)
+    x_final = solver.run(state, STEPS)
+    print(f"final mass    = {x_final.sum():.6f}  (conserved exactly)")
+    print(f"final peak    = {x_final.max():.6f}  (slightly diffused)")
+    print(f"minimum value = {x_final.min():.2e}  (positive definite)")
+
+    # Islands-of-cores run: 4 islands along i, each recomputing its halo,
+    # executed on 4 real threads.  Same bits, no inter-island talk.
+    islands = MpdataIslandSolver(SHAPE, islands=4, variant=Variant.A, threads=4)
+    x_islands = islands.run(state, STEPS)
+    exact = np.array_equal(x_final, x_islands)
+    print(f"islands(4) == whole-domain, bit for bit: {exact}")
+
+    decomposition = islands.decomposition
+    report = decomposition.redundancy()
+    print(
+        f"redundant work paid for independence: {report.extra_percent:.3f} % "
+        f"({report.extra_points} extra stage-points/step)"
+    )
+    print(
+        "(the percentage is large on this demo grid; on the paper's "
+        "1024-cell axis it is 0.64 % for 4 islands — see Table 2)"
+    )
+
+
+if __name__ == "__main__":
+    main()

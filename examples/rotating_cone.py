@@ -1,0 +1,70 @@
+"""The classic MPDATA rotating-cone test (Smolarkiewicz's standard
+accuracy benchmark).
+
+A cone-shaped scalar is carried through a full solid-body revolution; a
+perfect scheme returns it unchanged.  First-order upwind smears it badly;
+MPDATA's antidiffusive correction recovers most of the peak.  This is the
+kind of geophysical workload (EULAG advection) the paper's intro motivates.
+
+    python examples/rotating_cone.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.mpdata import (
+    MpdataSolver,
+    MpdataState,
+    cone,
+    rotation_velocity,
+    upwind_program,
+)
+
+SHAPE = (48, 48, 4)
+OMEGA = 2.0 * math.pi / 314.0  # ~314 steps per revolution
+STEPS = 314
+
+
+def error_norms(result: np.ndarray, exact: np.ndarray) -> tuple:
+    diff = result - exact
+    rmse = float(np.sqrt((diff**2).mean()))
+    return rmse, float(result.max()), float(result.min())
+
+
+def main() -> None:
+    x0 = cone(SHAPE, centre=(24.0, 12.0, 2.0), radius=7.0, height=2.0)
+    u1, u2, u3 = rotation_velocity(SHAPE, omega=OMEGA, centre=(24.0, 24.0))
+    h = np.ones(SHAPE)
+    state = MpdataState(x0, u1, u2, u3, h)
+
+    print(f"Rotating cone: grid {SHAPE}, {STEPS} steps = one revolution")
+    print(f"initial peak {x0.max():.3f}, mass {x0.sum():.3f}")
+
+    print("\nfirst-order upwind only (stages 1-4):")
+    upwind = MpdataSolver(SHAPE, program=upwind_program())
+    x_up = upwind.run(state, STEPS)
+    rmse, peak, minimum = error_norms(x_up, x0)
+    print(f"  rmse {rmse:.4f}  peak {peak:.3f}  min {minimum:.2e}")
+
+    print("\nfull nonoscillatory MPDATA (all 17 stages):")
+    mpdata = MpdataSolver(SHAPE)
+    x_mp = mpdata.run(state, STEPS)
+    rmse_mp, peak_mp, minimum_mp = error_norms(x_mp, x0)
+    print(f"  rmse {rmse_mp:.4f}  peak {peak_mp:.3f}  min {minimum_mp:.2e}")
+
+    print(
+        f"\nantidiffusive correction recovers "
+        f"{100.0 * (peak_mp - peak) / (x0.max() - peak):.0f} % of the peak "
+        "height upwind lost,"
+    )
+    print(
+        f"cuts the rmse by {100.0 * (1.0 - rmse_mp / rmse):.0f} %, and keeps "
+        f"the field non-negative (min {minimum_mp:.2e})."
+    )
+    assert rmse_mp < rmse
+    assert peak_mp > peak
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Explore the Sect. 4.1 trade-off: recompute or communicate?
+
+The paper's central insight is that redundant computation and halo traffic
+are two prices for the same data, and which is cheaper depends on the
+machine.  This example evaluates both scenarios for the MPDATA time step
+across interconnect speeds and island counts, locates the crossover
+bandwidth, and runs the islands strategy on two synthetic machines — the
+UV 2000 and an idealized flat SMP — to show the approach's advantage
+shrinking as the network improves.
+
+    python examples/tradeoff_explorer.py
+"""
+
+from repro import paperdata
+from repro.analysis import format_table
+from repro.core import (
+    Variant,
+    crossover_bandwidth,
+    partition_domain,
+    scenario_costs,
+)
+from repro.machine import (
+    blade_machine,
+    simulate,
+    uv2000_costs,
+    xeon_e5_4627v2,
+)
+from repro.mpdata import mpdata_program
+from repro.sched import build_fused_plan, build_islands_plan
+from repro.stencil import full_box, program_arith_flops_per_point
+
+
+def scenario_sweep() -> None:
+    program = mpdata_program()
+    costs = uv2000_costs()
+    domain = full_box(paperdata.GRID_SHAPE)
+    stages = len(program.stages)
+    flops_per_point = program_arith_flops_per_point(program)
+    seconds_per_point = flops_per_point / stages / costs.team_flops
+    sync_latency = 2e-6  # bare barrier latency, as in the ablation module
+
+    rows = []
+    for islands in (2, 4, 8, 14):
+        partition = partition_domain(domain, islands, Variant.A)
+        at_numalink = scenario_costs(
+            program, partition, seconds_per_point, 6.7e9, sync_latency
+        )
+        crossover = crossover_bandwidth(
+            program, partition, seconds_per_point, sync_latency
+        )
+        rows.append(
+            (
+                islands,
+                at_numalink.extra_points,
+                1e3 * at_numalink.recompute_seconds,
+                1e3 * at_numalink.communicate_seconds,
+                "recompute" if at_numalink.recompute_wins else "communicate",
+                crossover / 1e9,
+            )
+        )
+    print(
+        format_table(
+            "Per-step cost of scenario 2 (recompute) vs scenario 1 "
+            "(communicate) at NUMAlink speed",
+            ["islands", "extra pts", "recompute ms", "communicate ms",
+             "winner", "crossover GB/s"],
+            rows,
+            note="Above the crossover bandwidth a machine should prefer "
+            "communicating; NUMAlink 6 (6.7 GB/s) sits well below it.",
+        )
+    )
+
+
+def machine_sweep() -> None:
+    program = mpdata_program()
+    costs = uv2000_costs()
+    shape, steps = paperdata.GRID_SHAPE, paperdata.TIME_STEPS
+    node = xeon_e5_4627v2()
+
+    rows = []
+    for label, link_gbps in (
+        ("UV 2000 (NUMAlink 6)", 6.7),
+        ("hypothetical 2x links", 13.4),
+        ("hypothetical 8x links", 53.6),
+    ):
+        machine = blade_machine(
+            7, node, name=label, numalink_bandwidth=link_gbps * 1e9
+        )
+        fused = simulate(
+            build_fused_plan(program, shape, steps, 14, machine, costs)
+        ).total_seconds
+        islands = simulate(
+            build_islands_plan(program, shape, steps, 14, machine, costs)
+        ).total_seconds
+        rows.append((label, fused, islands, fused / islands))
+    print(
+        format_table(
+            "Pure (3+1)D vs islands at P = 14 as the interconnect improves",
+            ["machine", "(3+1)D [s]", "islands [s]", "S_pr"],
+            rows,
+            note="A faster network rescues the communicating decomposition; "
+            "the islands advantage S_pr shrinks accordingly — exactly the "
+            "correlation Sect. 4.1 describes.",
+        )
+    )
+
+
+def main() -> None:
+    scenario_sweep()
+    print()
+    machine_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro — Islands-of-Cores for Heterogeneous Stencil Computations on SMP/NUMA.
+
+A reproduction of Szustak, Wyrzykowski & Jakl (PaCT 2017): the MPDATA
+heterogeneous stencil application, the (3+1)D cache-blocking decomposition,
+and the islands-of-cores approach that trades inter-node communication for
+redundant computation — plus a calibrated SMP/NUMA machine model that
+regenerates the paper's evaluation.
+
+Package map
+-----------
+``repro.stencil``
+    Stencil IR: multi-stage programs, halo analysis, interpreter, tiling.
+``repro.mpdata``
+    The 17-stage MPDATA application, solver and workload generators.
+``repro.core``
+    The contribution: partitioning, redundancy accounting, islands,
+    affinity placement and the computation/communication trade-off model.
+``repro.runtime``
+    Functional partitioned execution with bit-exact verification.
+``repro.machine``
+    NUMA topology, calibrated cost model, phase simulator, UV 2000 preset.
+``repro.sched``
+    Strategy-to-plan compilers (original / (3+1)D / islands).
+``repro.analysis``
+    Traffic accounting, metrics, calibration, reporting.
+``repro.experiments``
+    One driver per table/figure of the paper.
+
+Quick start
+-----------
+>>> from repro.mpdata import MpdataSolver, translation_state
+>>> state = translation_state((64, 32, 16))
+>>> solver = MpdataSolver((64, 32, 16))
+>>> x_new = solver.run(state, steps=5)
+
+and for the paper's headline experiment::
+
+    from repro.experiments import table3
+    print(table3.run().render())
+"""
+
+from . import analysis, core, machine, mpdata, runtime, sched, stencil
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "analysis",
+    "core",
+    "machine",
+    "mpdata",
+    "runtime",
+    "sched",
+    "stencil",
+]

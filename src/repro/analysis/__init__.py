@@ -1,0 +1,50 @@
+"""Analysis: traffic accounting, metrics, calibration and reporting."""
+
+from .calibration import CalibrationResult, calibrate_uv2000, fit_line
+from .energy import EnergyEstimate, EnergyModel, estimate_energy
+from .metrics import (
+    ScalingRow,
+    efficiency_percent,
+    scaling_table,
+    speedup_overall,
+    speedup_partial,
+    sustained_gflops,
+    utilization_percent,
+)
+from .report import format_series, format_table, relative_error_percent, to_csv
+from .timeline import PhaseRow, TimelineReport, timeline_report
+from .traffic import (
+    TrafficReport,
+    fused_traffic,
+    original_bytes_per_point,
+    original_traffic,
+    stage_stream_bytes_per_point,
+)
+
+__all__ = [
+    "CalibrationResult",
+    "EnergyEstimate",
+    "EnergyModel",
+    "PhaseRow",
+    "ScalingRow",
+    "TimelineReport",
+    "TrafficReport",
+    "calibrate_uv2000",
+    "efficiency_percent",
+    "estimate_energy",
+    "fit_line",
+    "format_series",
+    "format_table",
+    "fused_traffic",
+    "original_bytes_per_point",
+    "original_traffic",
+    "relative_error_percent",
+    "scaling_table",
+    "speedup_overall",
+    "speedup_partial",
+    "stage_stream_bytes_per_point",
+    "sustained_gflops",
+    "timeline_report",
+    "to_csv",
+    "utilization_percent",
+]

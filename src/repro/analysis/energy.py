@@ -1,0 +1,106 @@
+"""Energy estimates for simulated runs.
+
+The NUMA literature the paper draws on (e.g. Castro et al., cited in the
+introduction) evaluates platforms on energy as well as time.  This module
+adds a deliberately simple, fully documented first-order energy model on
+top of any :class:`~repro.machine.SimResult`:
+
+    E = P_active · T · N_busy  +  P_idle · T · (N_total − N_busy)
+        + E_byte · transferred_bytes
+
+with per-node active/idle powers and a per-byte interconnect energy.  The
+defaults are typical published figures for Ivy Bridge-EP-class servers
+(130 W TDP-class active draw, 65 W idle, ~0.5 nJ/byte for an on-board
+interconnect); they are *assumptions, not calibrations* — the model's
+value is comparative (strategy A vs strategy B on the same constants), and
+the qualitative conclusion is robust: because idle power is a large
+fraction of active power, **energy tracks wall-clock time**, so the
+islands approach wins energy by roughly its speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine import SimResult
+
+__all__ = ["EnergyModel", "EnergyEstimate", "estimate_energy"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """First-order power constants (per node, plus interconnect)."""
+
+    active_watts: float = 130.0
+    idle_watts: float = 65.0
+    joules_per_byte: float = 0.5e-9
+
+    def __post_init__(self) -> None:
+        if self.active_watts < self.idle_watts:
+            raise ValueError("active power cannot be below idle power")
+        if min(self.active_watts, self.idle_watts, self.joules_per_byte) < 0:
+            raise ValueError("power constants must be non-negative")
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy attribution for one simulated run."""
+
+    plan_name: str
+    busy_joules: float
+    idle_joules: float
+    transfer_joules: float
+    total_nodes: int
+
+    @property
+    def total_joules(self) -> float:
+        return self.busy_joules + self.idle_joules + self.transfer_joules
+
+    @property
+    def kilojoules(self) -> float:
+        return self.total_joules / 1e3
+
+    def __str__(self) -> str:
+        return (
+            f"{self.plan_name}: {self.kilojoules:.2f} kJ "
+            f"(busy {self.busy_joules / 1e3:.2f}, idle "
+            f"{self.idle_joules / 1e3:.2f}, links "
+            f"{self.transfer_joules / 1e3:.3f})"
+        )
+
+
+def estimate_energy(
+    result: SimResult,
+    total_nodes: int,
+    model: EnergyModel = EnergyModel(),
+    transferred_bytes: float = 0.0,
+) -> EnergyEstimate:
+    """Estimate the energy of a simulated run.
+
+    Parameters
+    ----------
+    result:
+        The simulated run (its ``nodes_used`` draw active power for the
+        whole duration; the machine's remaining nodes idle).
+    total_nodes:
+        Node count of the whole machine — idle nodes still burn power, the
+        effect that makes using *fewer* processors for *longer* an energy
+        loss on a shared system.
+    transferred_bytes:
+        Explicit interconnect volume, if the caller tracked it (the plans'
+        transfer lists; zero for strategies whose traffic is implicit in
+        the calibrated regimes).
+    """
+    if not 1 <= result.nodes_used <= total_nodes:
+        raise ValueError("nodes_used must be within the machine")
+    duration = result.total_seconds
+    busy = model.active_watts * duration * result.nodes_used
+    idle = model.idle_watts * duration * (total_nodes - result.nodes_used)
+    links = model.joules_per_byte * transferred_bytes
+    return EnergyEstimate(
+        plan_name=result.plan_name,
+        busy_joules=busy,
+        idle_joules=idle,
+        transfer_joules=links,
+        total_nodes=total_nodes,
+    )

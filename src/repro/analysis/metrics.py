@@ -1,0 +1,99 @@
+"""Performance metrics as the paper defines them.
+
+Speedups (Table 3): ``S_pr`` is islands over pure (3+1)D at the same P;
+``S_ov`` is islands over the (first-touch) original at the same P.
+
+Table 4's columns: *sustained* Gflop/s divide the executed arithmetic flops
+(redundancy included) by time; *utilization* divides sustained by the
+theoretical peak of the P processors; *parallel efficiency* is — as the
+paper's numbers reveal — the scaling efficiency of the original version,
+``(T_original(1) / T_original(P)) / P``, which matches every printed value
+(98.7 % at P=2 is 30.40/15.40/2, 77.3 % at P=14 is 30.40/2.81/14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+__all__ = [
+    "ScalingRow",
+    "speedup_partial",
+    "speedup_overall",
+    "sustained_gflops",
+    "utilization_percent",
+    "efficiency_percent",
+    "scaling_table",
+]
+
+
+def speedup_partial(fused_seconds: float, islands_seconds: float) -> float:
+    """``S_pr``: islands-of-cores gain over the pure (3+1)D decomposition."""
+    return fused_seconds / islands_seconds
+
+
+def speedup_overall(original_seconds: float, islands_seconds: float) -> float:
+    """``S_ov``: islands-of-cores gain over the original version."""
+    return original_seconds / islands_seconds
+
+
+def sustained_gflops(flops: float, seconds: float) -> float:
+    """Executed arithmetic flops (redundancy included) over time."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return flops / seconds / 1e9
+
+
+def utilization_percent(sustained: float, peak_gflops: float) -> float:
+    """Sustained performance over theoretical peak, in percent."""
+    if peak_gflops <= 0:
+        raise ValueError("peak must be positive")
+    return 100.0 * sustained / peak_gflops
+
+
+def efficiency_percent(
+    original_single: float, original_p: float, processors: int
+) -> float:
+    """The paper's "parallel efficiency": original-version scaling over P."""
+    if processors <= 0:
+        raise ValueError("processors must be positive")
+    return 100.0 * (original_single / original_p) / processors
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    """One P column of the Table 3 + Table 4 combined report."""
+
+    processors: int
+    original_seconds: float
+    fused_seconds: float
+    islands_seconds: float
+    islands_flops: float
+    peak_gflops: float
+
+    @property
+    def s_pr(self) -> float:
+        return speedup_partial(self.fused_seconds, self.islands_seconds)
+
+    @property
+    def s_ov(self) -> float:
+        return speedup_overall(self.original_seconds, self.islands_seconds)
+
+    @property
+    def sustained(self) -> float:
+        return sustained_gflops(self.islands_flops, self.islands_seconds)
+
+    @property
+    def utilization(self) -> float:
+        return utilization_percent(self.sustained, self.peak_gflops)
+
+
+def scaling_table(rows: Sequence[ScalingRow]) -> Tuple[ScalingRow, ...]:
+    """Validate and freeze a sequence of scaling rows (sorted by P)."""
+    ordered = tuple(sorted(rows, key=lambda r: r.processors))
+    seen = set()
+    for row in ordered:
+        if row.processors in seen:
+            raise ValueError(f"duplicate row for P={row.processors}")
+        seen.add(row.processors)
+    return ordered

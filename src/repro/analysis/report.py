@@ -1,0 +1,95 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+The experiment modules produce data; this module prints it in the shape the
+paper's tables have, with a model-vs-paper column pair wherever a published
+number exists.  Everything renders to a string so benchmarks, examples and
+tests can all reuse it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "relative_error_percent", "to_csv"]
+
+
+def relative_error_percent(model: float, paper: float) -> float:
+    """Signed relative deviation of a modelled value from the paper's."""
+    if paper == 0:
+        raise ValueError("paper value is zero; relative error undefined")
+    return 100.0 * (model - paper) / paper
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    note: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned monospace table with a title rule."""
+    materialized: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in materialized:
+        if len(row) != len(columns):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(columns)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    out = [title, "=" * len(title), line(columns), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in materialized)
+    if note:
+        out.append("")
+        out.append(note)
+    return "\n".join(out)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[object],
+    series: Sequence[tuple],
+) -> str:
+    """Render (label, values) series against a shared x axis — the text
+    equivalent of one panel of Fig. 2."""
+    columns = [x_label] + [label for label, _ in series]
+    rows = []
+    for index, x in enumerate(xs):
+        row = [x]
+        for _, values in series:
+            row.append(values[index])
+        rows.append(row)
+    return format_table(title, columns, rows)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def to_csv(columns: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as CSV text (RFC-4180-style quoting where needed).
+
+    The experiment dataclasses render human tables via
+    :func:`format_table`; this is the machine-readable twin for plotting
+    pipelines.
+    """
+    def field(value: object) -> str:
+        text = f"{value:.6g}" if isinstance(value, float) else str(value)
+        if any(ch in text for ch in ',"\n'):
+            text = '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(field(c) for c in columns)]
+    for row in rows:
+        if len(row) != len(columns):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(columns)}"
+            )
+        lines.append(",".join(field(v) for v in row))
+    return "\n".join(lines) + "\n"

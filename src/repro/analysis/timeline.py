@@ -1,0 +1,99 @@
+"""Timeline and attribution reports for simulated runs.
+
+Answers "where did the time go?" for any :class:`~repro.machine.SimResult`:
+per-phase totals with an ASCII bar profile, and the compute / transfer /
+barrier / overhead attribution that explains *why* a strategy behaves as it
+does (e.g. pure (3+1)D at P = 14 spends >80 % in per-block hand-off
+overhead — the paper's diagnosis, made visible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..machine import SimResult
+
+__all__ = ["PhaseRow", "TimelineReport", "timeline_report"]
+
+_BAR_WIDTH = 32
+
+
+@dataclass(frozen=True)
+class PhaseRow:
+    """One (repeated) phase's contribution to the run."""
+
+    name: str
+    once_seconds: float
+    repeat: int
+    total_seconds: float
+    share: float  # fraction of the whole run
+
+    def bar(self) -> str:
+        filled = round(self.share * _BAR_WIDTH)
+        return "#" * filled + "." * (_BAR_WIDTH - filled)
+
+
+@dataclass(frozen=True)
+class TimelineReport:
+    """Sorted per-phase profile plus cost attribution for one run."""
+
+    plan_name: str
+    total_seconds: float
+    rows: Tuple[PhaseRow, ...]
+    attribution: Tuple[Tuple[str, float, float], ...]  # (bucket, s, share)
+
+    def dominant_bucket(self) -> str:
+        """The attribution bucket with the largest share."""
+        return max(self.attribution, key=lambda item: item[1])[0]
+
+    def render(self) -> str:
+        lines = [
+            f"timeline: {self.plan_name} — {self.total_seconds:.3f} s total",
+            "",
+            f"{'phase':28s} {'once':>10s} {'xN':>6s} {'total':>9s}  profile",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.name[:28]:28s} {row.once_seconds * 1e3:8.3f}ms "
+                f"{row.repeat:>6d} {row.total_seconds:8.3f}s  {row.bar()}"
+            )
+        lines.append("")
+        lines.append("attribution:")
+        for bucket, seconds, share in self.attribution:
+            lines.append(
+                f"  {bucket:10s} {seconds:8.3f} s  ({100.0 * share:5.1f} %)"
+            )
+        return "\n".join(lines)
+
+
+def timeline_report(result: SimResult) -> TimelineReport:
+    """Profile a simulated run into phases and cost buckets."""
+    total = result.total_seconds
+    rows: List[PhaseRow] = []
+    for timing in result.timings:
+        share = timing.total_seconds / total if total > 0 else 0.0
+        rows.append(
+            PhaseRow(
+                name=timing.name,
+                once_seconds=timing.once_seconds,
+                repeat=timing.repeat,
+                total_seconds=timing.total_seconds,
+                share=share,
+            )
+        )
+    rows.sort(key=lambda row: -row.total_seconds)
+
+    breakdown = result.breakdown()
+    attribution = tuple(
+        (bucket, seconds, seconds / total if total > 0 else 0.0)
+        for bucket, seconds in sorted(
+            breakdown.items(), key=lambda item: -item[1]
+        )
+    )
+    return TimelineReport(
+        plan_name=result.plan_name,
+        total_seconds=total,
+        rows=tuple(rows),
+        attribution=attribution,
+    )

@@ -1,0 +1,247 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate the paper's tables/figures, run the future-work
+studies, verify bit-exactness, re-derive the calibration, or recommend a
+strategy for a workload:
+
+.. code-block:: console
+
+    python -m repro table3              # Table 3 + Fig. 2 data
+    python -m repro all                 # every table and figure
+    python -m repro verify              # bit-exactness sweep
+    python -m repro calibrate           # re-fit and print the cost model
+    python -m repro recommend -P 14     # rank strategies for a config
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Islands-of-cores reproduction (PaCT 2017): regenerate the "
+            "paper's evaluation and explore the model."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_text in (
+        ("table1", "original (both placements) vs pure (3+1)D times"),
+        ("table2", "extra elements, variants A and B"),
+        ("table3", "times + speedups (also prints Fig. 2a/2b)"),
+        ("table4", "sustained Gflop/s, utilization, efficiency"),
+        ("traffic", "the Sect. 3.2 traffic claim"),
+        ("ablations", "variant / bandwidth / cache ablations"),
+        ("future-work", "2D grids, two-level islands, cluster projection"),
+        ("generality", "islands payoff across the stencil gallery"),
+        ("duel", "scenario 1 vs 2 at full-application fidelity"),
+        ("energy", "first-order energy estimates per strategy"),
+        ("autotune", "search (3+1)D block shapes vs the heuristic"),
+        ("deviation", "paper-vs-model error summary over every cell"),
+        ("all", "everything above, in order"),
+        ("calibrate", "re-fit the cost model from the paper anchors"),
+    ):
+        sub.add_parser(name, help=help_text)
+
+    verify = sub.add_parser(
+        "verify", help="bit-exactness of islands vs whole-domain execution"
+    )
+    verify.add_argument(
+        "--shape", type=int, nargs=3, default=(24, 16, 8), metavar="N"
+    )
+    verify.add_argument("--steps", type=int, default=2)
+    verify.add_argument(
+        "--islands", type=int, nargs="+", default=(2, 3, 4)
+    )
+
+    export = sub.add_parser(
+        "export", help="write Tables 1-4, Fig. 2 and the deviation audit as CSV"
+    )
+    export.add_argument("--dir", default="results", help="output directory")
+
+    show = sub.add_parser(
+        "show", help="describe a stencil program (stages, patterns, halos)"
+    )
+    show.add_argument(
+        "program",
+        nargs="?",
+        default="mpdata",
+        help="mpdata (default), upwind, or a gallery name "
+        "(jacobi7, heat3d, star3d, wave3d, biharmonic, smoother_chain)",
+    )
+    show.add_argument("--iord", type=int, default=2)
+    show.add_argument("--no-fct", action="store_true")
+
+    recommend = sub.add_parser(
+        "recommend", help="rank execution strategies for a configuration"
+    )
+    recommend.add_argument("-P", "--processors", type=int, default=14)
+    recommend.add_argument(
+        "--shape", type=int, nargs=3, default=(1024, 512, 64), metavar="N"
+    )
+    recommend.add_argument("--steps", type=int, default=50)
+    return parser
+
+
+def _emit(text: str) -> None:
+    print(text)
+    print()
+
+
+def _run_tables(which: str) -> None:
+    from .experiments import (
+        ablations,
+        autotune_study,
+        deviation,
+        energy_study,
+        future_work,
+        generality,
+        scenario_duel,
+        table1,
+        table2,
+        table3,
+        table4,
+        traffic_claim,
+    )
+
+    if which in ("table1", "all"):
+        _emit(table1.run().render())
+    if which in ("table2", "all"):
+        _emit(table2.run().render())
+    if which in ("table3", "all"):
+        result = table3.run()
+        _emit(result.render())
+        _emit(result.render_fig2a())
+        _emit(result.render_fig2b())
+    if which in ("table4", "all"):
+        _emit(table4.run().render())
+    if which in ("traffic", "all"):
+        _emit(traffic_claim.run().render())
+    if which in ("ablations", "all"):
+        _emit(ablations.run_variant_ablation().render())
+        _emit(ablations.run_bandwidth_ablation().render())
+        _emit(ablations.run_cache_ablation().render())
+        _emit(ablations.run_placement_ablation().render())
+    if which in ("future-work", "all"):
+        _emit(future_work.run_partition_study().render())
+        _emit(future_work.run_two_level_study().render())
+        _emit(future_work.run_cluster_projection().render())
+    if which in ("generality", "all"):
+        _emit(generality.run_generality_study().render())
+        _emit(generality.run_depth_study().render())
+    if which in ("duel", "all"):
+        _emit(scenario_duel.run_scenario_duel().render())
+    if which in ("energy", "all"):
+        _emit(energy_study.run_energy_study().render())
+    if which in ("autotune", "all"):
+        _emit(autotune_study.run_autotune_study().render())
+    if which in ("deviation", "all"):
+        _emit(deviation.run().render())
+
+
+def _run_verify(shape, steps, island_counts) -> int:
+    from .mpdata import random_state
+    from .runtime import verify_variants
+
+    state = random_state(tuple(shape), seed=2017)
+    results = verify_variants(tuple(shape), state, island_counts, steps=steps)
+    failures = 0
+    for result in results:
+        status = "OK " if result.bit_exact else "FAIL"
+        print(
+            f"[{status}] islands={result.islands:2d} variant="
+            f"{result.variant.value} steps={result.steps} "
+            f"max|diff|={result.max_abs_diff:.3e}"
+        )
+        if not result.bit_exact:
+            failures += 1
+    print(
+        f"\n{len(results) - failures}/{len(results)} configurations "
+        "bit-exact"
+    )
+    return 1 if failures else 0
+
+
+def _run_calibrate() -> None:
+    from .analysis import calibrate_uv2000
+
+    result = calibrate_uv2000()
+    print("Work counts derived from the IR:")
+    print(f"  original traffic  {result.bytes_per_point} B/point/step")
+    print(f"  arithmetic flops  {result.arith_flops_per_point} /point/step")
+    print(f"  (3+1)D blocks     {result.block_count} for the paper domain")
+    print("\nFitted cost-model constants:")
+    for name in result.costs.__dataclass_fields__:
+        print(f"  {name:32s} {getattr(result.costs, name):.6g}")
+
+
+def _run_recommend(processors, shape, steps) -> None:
+    from .core import recommend
+    from .machine import sgi_uv2000, uv2000_costs
+    from .mpdata import mpdata_program
+
+    machine = sgi_uv2000()
+    ranked = recommend(
+        mpdata_program(), tuple(shape), steps, processors,
+        machine, uv2000_costs(),
+    )
+    print(
+        f"Strategies for {shape[0]}x{shape[1]}x{shape[2]}, {steps} steps, "
+        f"P={processors} on {machine.name} (best first):"
+    )
+    for rank, choice in enumerate(ranked, start=1):
+        print(f"  {rank}. {choice}")
+
+
+def _run_show(name: str, iord: int, no_fct: bool) -> int:
+    from .stencil import GALLERY, describe_program
+
+    if name == "mpdata":
+        from .mpdata import mpdata_program
+
+        program = mpdata_program(iord=iord, nonosc=not no_fct)
+    elif name == "upwind":
+        from .mpdata import upwind_program
+
+        program = upwind_program()
+    elif name in GALLERY:
+        program = GALLERY[name]()
+    else:
+        known = ", ".join(["mpdata", "upwind"] + sorted(GALLERY))
+        print(f"unknown program {name!r}; known: {known}")
+        return 1
+    print(describe_program(program))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "show":
+        return _run_show(args.program, args.iord, args.no_fct)
+    if args.command == "export":
+        from .experiments.export import export_all
+
+        for path in export_all(args.dir):
+            print(f"wrote {path}")
+        return 0
+    if args.command == "verify":
+        return _run_verify(args.shape, args.steps, args.islands)
+    if args.command == "calibrate":
+        _run_calibrate()
+        return 0
+    if args.command == "recommend":
+        _run_recommend(args.processors, args.shape, args.steps)
+        return 0
+    _run_tables(args.command)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""The paper's contribution: the islands-of-cores approach.
+
+* :mod:`repro.core.partition` — 1D (variants A/B) and 2D domain partitioning,
+* :mod:`repro.core.redundancy` — exact extra-element accounting (Table 2),
+* :mod:`repro.core.islands` — island construction with halo and block plans,
+* :mod:`repro.core.affinity` — adjacency-aware island-to-node placement,
+* :mod:`repro.core.tradeoff` — the Sect. 4.1 computation-vs-communication
+  model and its bandwidth crossover.
+"""
+
+from .affinity import chain_placement, identity_placement, placement_cost
+from .hierarchy import TwoLevelRedundancy, two_level_redundancy
+from .optimizer import StrategyChoice, grid_factorizations, recommend
+from .islands import Island, IslandDecomposition, decompose
+from .partition import Partition, Variant, partition_domain, partition_grid_2d
+from .redundancy import (
+    IslandRedundancy,
+    RedundancyReport,
+    redundancy_report,
+    variant_table,
+)
+from .tradeoff import ScenarioCosts, crossover_bandwidth, scenario_costs
+
+__all__ = [
+    "Island",
+    "IslandDecomposition",
+    "IslandRedundancy",
+    "Partition",
+    "RedundancyReport",
+    "ScenarioCosts",
+    "StrategyChoice",
+    "TwoLevelRedundancy",
+    "Variant",
+    "chain_placement",
+    "crossover_bandwidth",
+    "decompose",
+    "grid_factorizations",
+    "identity_placement",
+    "partition_domain",
+    "partition_grid_2d",
+    "placement_cost",
+    "redundancy_report",
+    "recommend",
+    "scenario_costs",
+    "two_level_redundancy",
+    "variant_table",
+]

@@ -1,0 +1,121 @@
+"""Two-level islands: the paper's first future-work direction.
+
+Sect. 6: "the proposed islands-of-cores approach can be applied to optimize
+computations within every multicore CPU".  That means nesting the
+transformation — processor-level islands whose slabs are themselves split
+into *core-level* islands, each core recomputing its own transitive halo so
+that even intra-processor synchronization disappears.
+
+Whether that pays depends entirely on redundancy growth: a core-level slab
+is ~8x thinner than a processor slab, and once slabs approach the
+program's transitive halo depth the extra elements explode.  This module
+computes the exact two-level redundancy (reusing the Table 2 machinery at
+both levels) so the trade-off can be evaluated for any grid, processor
+count and inner partitioning — including the 2D inner grids that make
+core-level islands viable where 1D ones are not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..stencil import Box, StencilProgram, required_regions
+from .partition import Partition, Variant, partition_domain, partition_grid_2d
+from .redundancy import redundancy_report
+
+__all__ = ["TwoLevelRedundancy", "two_level_redundancy"]
+
+
+@dataclass(frozen=True)
+class TwoLevelRedundancy:
+    """Exact extra-work accounting for nested islands.
+
+    Level 1: the domain is split into ``outer`` processor islands.
+    Level 2: each processor slab is split into per-core sub-islands;
+    every sub-island recomputes its transitive halo *within the extended
+    region its processor island already recomputes*.
+
+    ``outer_percent`` is the processor-level redundancy (Table 2);
+    ``total_percent`` counts every point any core computes, relative to the
+    original version — the true cost of full two-level independence.
+    """
+
+    domain: Box
+    outer: int
+    inner: Tuple[int, int]  # per-island core grid (parts_i, parts_j)
+    outer_percent: float
+    total_percent: float
+    max_core_points: int
+    baseline_points: int
+
+    @property
+    def inner_count(self) -> int:
+        return self.inner[0] * self.inner[1]
+
+    @property
+    def inner_percent(self) -> float:
+        """Redundancy added by the core level on top of the outer level."""
+        return self.total_percent - self.outer_percent
+
+
+def two_level_redundancy(
+    program: StencilProgram,
+    domain: Box,
+    outer: int,
+    inner: Tuple[int, int],
+    variant: Variant = Variant.A,
+) -> TwoLevelRedundancy:
+    """Compute exact two-level extra-element percentages.
+
+    Parameters
+    ----------
+    outer:
+        Number of processor islands (1D split, ``variant``).
+    inner:
+        Core grid per island as ``(parts_i, parts_j)``; ``(8, 1)`` gives
+        1D core islands, ``(4, 2)`` a 2D core grid.
+    """
+    if outer <= 0:
+        raise ValueError("outer must be positive")
+    if inner[0] <= 0 or inner[1] <= 0:
+        raise ValueError("inner grid extents must be positive")
+
+    outer_partition = partition_domain(domain, outer, variant)
+    outer_report = redundancy_report(program, outer_partition)
+    baseline = outer_report.baseline_points
+
+    total_points = 0
+    max_core_points = 0
+    for part in outer_partition.parts:
+        # The processor island computes (and holds) exactly the regions of
+        # its own halo plan; core islands recompute within that envelope,
+        # so their plans clip against the *domain* (data beyond the slab is
+        # shared input, same as at level 1).
+        if inner == (1, 1):
+            core_parts: List[Box] = [part]
+        elif inner[1] == 1:
+            core_parts = list(partition_domain(part, inner[0], Variant.A).parts)
+        elif inner[0] == 1:
+            core_parts = list(partition_domain(part, inner[1], Variant.B).parts)
+        else:
+            core_parts = list(
+                partition_grid_2d(part, inner[0], inner[1]).parts
+            )
+        for core_part in core_parts:
+            plan = required_regions(program, core_part, domain=domain)
+            points = plan.compute_points()
+            total_points += points
+            max_core_points = max(max_core_points, points)
+
+    outer_percent = outer_report.extra_percent
+    total_percent = 100.0 * (total_points - baseline) / baseline
+    return TwoLevelRedundancy(
+        domain=domain,
+        outer=outer,
+        inner=inner,
+        outer_percent=outer_percent,
+        total_percent=total_percent,
+        max_core_points=max_core_points,
+        baseline_points=baseline,
+    )

@@ -1,0 +1,141 @@
+"""Strategy selection: the paper's modelling future work, made executable.
+
+Sect. 6: "This requires to build performance models ... The optimal
+trade-off between computations and communications inside and between
+processors should be determined on this basis."  Given a machine, a cost
+model and a workload, :func:`recommend` evaluates every execution strategy
+(original under both placements, pure (3+1)D, islands under variants A/B
+and — when the processor count factors nicely — 2D processor grids) through
+the simulator and returns them ranked by predicted time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..machine import CostModel, MachineSpec, simulate
+from ..stencil import StencilProgram, full_box
+from .partition import Variant, partition_grid_2d
+
+__all__ = ["StrategyChoice", "recommend", "grid_factorizations"]
+
+
+@dataclass(frozen=True)
+class StrategyChoice:
+    """One evaluated configuration."""
+
+    label: str
+    predicted_seconds: float
+    sustained_gflops: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label}: {self.predicted_seconds:.3f} s "
+            f"({self.sustained_gflops:.1f} Gflop/s)"
+        )
+
+
+def grid_factorizations(processors: int) -> List[Tuple[int, int]]:
+    """Non-trivial 2D factorizations ``pi x pj`` of a processor count.
+
+    Excludes ``(P, 1)`` and ``(1, P)``, which are the 1D variants.
+    """
+    out = []
+    for pi in range(2, processors):
+        if processors % pi == 0:
+            pj = processors // pi
+            if pj >= 2:
+                out.append((pi, pj))
+    return out
+
+
+def recommend(
+    program: StencilProgram,
+    shape: Tuple[int, int, int],
+    steps: int,
+    processors: int,
+    machine: MachineSpec,
+    costs: CostModel,
+    include_2d: bool = True,
+) -> List[StrategyChoice]:
+    """Rank every applicable strategy by simulated time (best first)."""
+    # Imported here: repro.sched builds on repro.core, so a module-level
+    # import would be circular.
+    from ..sched import (
+        build_fused_plan,
+        build_islands_plan,
+        build_original_plan,
+    )
+
+    if not 1 <= processors <= machine.node_count:
+        raise ValueError(f"processors must be in 1..{machine.node_count}")
+
+    choices: List[StrategyChoice] = []
+
+    def _try_add(label: str, build) -> None:
+        # Infeasible configurations (e.g. a partition axis shorter than the
+        # island count, or a slab too thin to cache-block) are skipped, not
+        # fatal: the recommender ranks what the machine can actually run.
+        try:
+            plan = build()
+        except ValueError:
+            return
+        result = simulate(plan)
+        choices.append(
+            StrategyChoice(label, result.total_seconds, result.gflops)
+        )
+
+    _try_add(
+        "original (first touch)",
+        lambda: build_original_plan(
+            program, shape, steps, processors, machine, costs
+        ),
+    )
+    _try_add(
+        "original (serial init)",
+        lambda: build_original_plan(
+            program, shape, steps, processors, machine, costs, "serial"
+        ),
+    )
+    _try_add(
+        "pure (3+1)D",
+        lambda: build_fused_plan(
+            program, shape, steps, processors, machine, costs
+        ),
+    )
+    if processors == 1:
+        _try_add(
+            "islands",
+            lambda: build_islands_plan(
+                program, shape, steps, processors, machine, costs
+            ),
+        )
+    else:
+        for variant in (Variant.A, Variant.B):
+            _try_add(
+                f"islands 1D-{variant.value}",
+                lambda variant=variant: build_islands_plan(
+                    program, shape, steps, processors, machine, costs,
+                    variant=variant,
+                ),
+            )
+        if include_2d:
+            domain = full_box(shape)
+            for pi, pj in grid_factorizations(processors):
+                if pi > shape[0] or pj > shape[1]:
+                    continue
+                _try_add(
+                    f"islands 2D {pi}x{pj}",
+                    lambda pi=pi, pj=pj: build_islands_plan(
+                        program, shape, steps, processors, machine, costs,
+                        partition=partition_grid_2d(domain, pi, pj),
+                    ),
+                )
+
+    if not choices:
+        raise ValueError(
+            "no strategy is feasible for this workload/machine combination"
+        )
+    choices.sort(key=lambda choice: choice.predicted_seconds)
+    return choices

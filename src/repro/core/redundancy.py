@@ -1,0 +1,118 @@
+"""Extra-element accounting for the islands-of-cores approach (Table 2).
+
+When an island recomputes its transitive halo instead of communicating
+(scenario 2, Fig. 1c of the paper), the added work is exactly the points
+each stage computes *outside* the island's own part.  This module derives
+those counts from the backward halo analysis — for any program, domain,
+island count and partitioning variant — and reports them as the percentage
+over the original version's work, the quantity Table 2 tabulates.
+
+Physical domain edges are supplied by boundary conditions in every
+execution strategy, so halo regions are clipped to the domain and only
+*interior* cuts produce extra elements: one island gives exactly 0 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..stencil import Box, StencilProgram, required_regions
+from .partition import Partition, Variant, partition_domain
+
+__all__ = ["IslandRedundancy", "RedundancyReport", "redundancy_report", "variant_table"]
+
+
+@dataclass(frozen=True)
+class IslandRedundancy:
+    """Extra work of one island."""
+
+    island: int
+    part: Box
+    own_points: int
+    extra_points: int
+
+    @property
+    def total_points(self) -> int:
+        return self.own_points + self.extra_points
+
+
+@dataclass(frozen=True)
+class RedundancyReport:
+    """Extra-element accounting for one partitioning of one program.
+
+    ``baseline_points`` is the total number of stage-point computations of
+    the original (unpartitioned) version — every stage sweeping the whole
+    domain once — which is the paper's reference for the percentages.
+    """
+
+    program_name: str
+    domain: Box
+    variant: Variant
+    islands: Tuple[IslandRedundancy, ...]
+    baseline_points: int
+
+    @property
+    def extra_points(self) -> int:
+        """Total redundantly computed points across all islands."""
+        return sum(island.extra_points for island in self.islands)
+
+    @property
+    def extra_percent(self) -> float:
+        """Extra points as a percentage of the original version's work."""
+        return 100.0 * self.extra_points / self.baseline_points
+
+    @property
+    def max_island_points(self) -> int:
+        """Work of the most loaded island (drives parallel time)."""
+        return max(island.total_points for island in self.islands)
+
+    def imbalance(self) -> float:
+        """Max-to-mean ratio of island work (1.0 = perfectly balanced)."""
+        total = sum(island.total_points for island in self.islands)
+        mean = total / len(self.islands)
+        return self.max_island_points / mean
+
+
+def redundancy_report(
+    program: StencilProgram, partition: Partition
+) -> RedundancyReport:
+    """Exact extra-element accounting for a given partition.
+
+    For each island, runs the backward halo analysis with its part as the
+    target, clipped to the physical domain, and counts points computed
+    beyond the part.
+    """
+    domain = partition.domain
+    baseline = len(program.stages) * domain.size
+    islands = []
+    for index, part in enumerate(partition.parts):
+        plan = required_regions(program, part, domain=domain)
+        own = sum(box.intersect(part).size for box in plan.stage_boxes)
+        extra = plan.extra_points()
+        islands.append(IslandRedundancy(index, part, own, extra))
+    return RedundancyReport(
+        program.name, domain, partition.variant, tuple(islands), baseline
+    )
+
+
+def variant_table(
+    program: StencilProgram,
+    domain: Box,
+    max_islands: int,
+    variants: Tuple[Variant, ...] = (Variant.A, Variant.B),
+) -> Dict[Variant, Tuple[float, ...]]:
+    """Extra-element percentages for 1..max_islands islands per variant.
+
+    This regenerates Table 2 of the paper when called with the 17-stage
+    MPDATA program and the 1024 x 512 x 64 domain.
+    """
+    table: Dict[Variant, Tuple[float, ...]] = {}
+    for variant in variants:
+        percentages = []
+        for islands in range(1, max_islands + 1):
+            partition = partition_domain(domain, islands, variant)
+            report = redundancy_report(program, partition)
+            percentages.append(report.extra_percent)
+        table[variant] = tuple(percentages)
+    return table

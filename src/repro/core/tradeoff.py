@@ -1,0 +1,128 @@
+"""Analytic computation-vs-communication trade-off (Sect. 4.1).
+
+The paper's Fig. 1 contrasts two parallelization scenarios for a chain of
+heterogeneous stencils split across two processors:
+
+* **Scenario 1** — communicate: each stage transfers the boundary values a
+  neighbour needs and synchronizes before the next stage;
+* **Scenario 2** — recompute: each side redundantly computes the transitive
+  halo, and processors never interact within a time step.
+
+"It is expected that the second scenario will be able to get a higher
+performance in the case of powerful computing resources with relatively
+less efficient interconnects" — this module turns that expectation into a
+model: per-time-step costs of both scenarios for a given program, cut, and
+machine constants, and the interconnect bandwidth at which they cross.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..stencil import StencilProgram
+from .partition import Partition
+from .redundancy import redundancy_report
+
+__all__ = ["ScenarioCosts", "scenario_costs", "crossover_bandwidth"]
+
+
+@dataclass(frozen=True)
+class ScenarioCosts:
+    """Per-time-step cost of both scenarios for one partitioned run."""
+
+    communicate_seconds: float
+    recompute_seconds: float
+    transfer_bytes: int
+    extra_points: int
+    sync_points: int
+
+    @property
+    def recompute_wins(self) -> bool:
+        return self.recompute_seconds < self.communicate_seconds
+
+    @property
+    def advantage(self) -> float:
+        """Scenario-1 cost over scenario-2 cost (>1 means recompute wins)."""
+        return self.communicate_seconds / self.recompute_seconds
+
+
+def scenario_costs(
+    program: StencilProgram,
+    partition: Partition,
+    seconds_per_point: float,
+    link_bandwidth: float,
+    sync_latency: float,
+    itemsize: int = 8,
+) -> ScenarioCosts:
+    """Model one time step's overhead under each scenario.
+
+    Parameters
+    ----------
+    seconds_per_point:
+        Time for one core-team to compute one stage-point (calibrated from
+        single-island throughput).
+    link_bandwidth:
+        Bytes/second of the inter-island link (NUMAlink: 6.7 GB/s/dir).
+    sync_latency:
+        Seconds per inter-island synchronization point.  Scenario 1 pays one
+        per stage (the paper's Fig. 1b shows one per stage boundary);
+        scenario 2 pays a single end-of-step synchronization.
+
+    Notes
+    -----
+    The bytes scenario 1 transfers are exactly the values scenario 2
+    recomputes: every redundant point is a value that would otherwise be
+    received from the neighbour, so ``transfer_bytes = extra_points *
+    itemsize``.  This identity — redundant computation and halo traffic are
+    two prices for the same data — is the correlation between computation
+    and communication the paper exposes.
+    """
+    if seconds_per_point <= 0 or link_bandwidth <= 0 or sync_latency < 0:
+        raise ValueError("machine constants must be positive")
+    report = redundancy_report(program, partition)
+    extra_points = report.extra_points
+    transfer_bytes = extra_points * itemsize
+
+    stages = len(program.stages)
+    communicate = transfer_bytes / link_bandwidth + stages * sync_latency
+    recompute = (
+        extra_points / max(1, len(partition.parts)) * seconds_per_point
+        + sync_latency
+    )
+    return ScenarioCosts(
+        communicate_seconds=communicate,
+        recompute_seconds=recompute,
+        transfer_bytes=transfer_bytes,
+        extra_points=extra_points,
+        sync_points=stages,
+    )
+
+
+def crossover_bandwidth(
+    program: StencilProgram,
+    partition: Partition,
+    seconds_per_point: float,
+    sync_latency: float,
+    itemsize: int = 8,
+) -> float:
+    """Link bandwidth (B/s) at which the two scenarios cost the same.
+
+    Above this bandwidth, communicating (scenario 1) is cheaper — "more
+    efficient networks that connect less powerful computing resources";
+    below it, recomputing (scenario 2) wins.  Returns ``inf`` when
+    scenario 2's cost already exceeds scenario 1's latency floor (then no
+    bandwidth makes communication worse).
+    """
+    report = redundancy_report(program, partition)
+    extra_points = report.extra_points
+    transfer_bytes = extra_points * itemsize
+    stages = len(program.stages)
+
+    recompute = (
+        extra_points / max(1, len(partition.parts)) * seconds_per_point
+        + sync_latency
+    )
+    latency_floor = stages * sync_latency
+    if recompute <= latency_floor:
+        return float("inf")
+    return transfer_bytes / (recompute - latency_floor)

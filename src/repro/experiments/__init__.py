@@ -1,0 +1,46 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+* :mod:`repro.experiments.table1` — original (two placements) vs (3+1)D,
+* :mod:`repro.experiments.table2` — extra elements, variants A/B,
+* :mod:`repro.experiments.table3` — times + speedups (also Fig. 2a/2b),
+* :mod:`repro.experiments.table4` — sustained Gflop/s, utilization,
+  parallel efficiency,
+* :mod:`repro.experiments.traffic_claim` — Sect. 3.2's 133 GB -> 30 GB,
+* :mod:`repro.experiments.ablations` — variant, bandwidth and cache sweeps.
+"""
+
+from . import (
+    ablations,
+    autotune_study,
+    deviation,
+    energy_study,
+    export,
+    future_work,
+    generality,
+    scenario_duel,
+    table1,
+    table2,
+    table3,
+    table4,
+    traffic_claim,
+)
+from .common import ExperimentSetup, StrategyTimes, run_strategies
+
+__all__ = [
+    "ExperimentSetup",
+    "StrategyTimes",
+    "ablations",
+    "autotune_study",
+    "deviation",
+    "energy_study",
+    "export",
+    "future_work",
+    "generality",
+    "scenario_duel",
+    "run_strategies",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "traffic_claim",
+]

@@ -1,0 +1,114 @@
+"""Shared experiment scaffolding.
+
+Every experiment runs the same pipeline: build the 17-stage MPDATA program,
+take the paper's grid (1024 x 512 x 64) and step count (50), simulate one
+or more strategies over a processor range on the UV 2000 model, and pair
+each modelled value with the paper's published one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from .. import paperdata
+from ..core import Variant
+from ..machine import CostModel, MachineSpec, SimResult, simulate, sgi_uv2000, uv2000_costs
+from ..mpdata import mpdata_program
+from ..sched import build_fused_plan, build_islands_plan, build_original_plan
+from ..stencil import StencilProgram
+
+__all__ = ["ExperimentSetup", "StrategyTimes", "run_strategies"]
+
+
+@dataclass(frozen=True)
+class ExperimentSetup:
+    """Program + workload + machine for one experiment run."""
+
+    program: StencilProgram
+    shape: Tuple[int, int, int]
+    steps: int
+    machine: MachineSpec
+    costs: CostModel
+    processors: Tuple[int, ...]
+
+    @staticmethod
+    def paper(
+        processors: Optional[Sequence[int]] = None,
+        shape: Optional[Tuple[int, int, int]] = None,
+        steps: Optional[int] = None,
+    ) -> "ExperimentSetup":
+        """The evaluation configuration of Sect. 5."""
+        machine = sgi_uv2000()
+        if processors is None:
+            processors = range(1, machine.node_count + 1)
+        return ExperimentSetup(
+            program=mpdata_program(),
+            shape=shape if shape is not None else paperdata.GRID_SHAPE,
+            steps=steps if steps is not None else paperdata.TIME_STEPS,
+            machine=machine,
+            costs=uv2000_costs(),
+            processors=tuple(processors),
+        )
+
+
+@dataclass(frozen=True)
+class StrategyTimes:
+    """Simulated results of one strategy across the processor range."""
+
+    strategy: str
+    results: Tuple[SimResult, ...]
+
+    @property
+    def seconds(self) -> Tuple[float, ...]:
+        return tuple(r.total_seconds for r in self.results)
+
+    @property
+    def gflops(self) -> Tuple[float, ...]:
+        return tuple(r.gflops for r in self.results)
+
+
+def run_strategies(
+    setup: ExperimentSetup,
+    strategies: Sequence[str],
+    variant: Variant = Variant.A,
+) -> Dict[str, StrategyTimes]:
+    """Simulate the named strategies over the setup's processor range.
+
+    Strategy names: ``"original-serial"``, ``"original"``, ``"fused"``,
+    ``"islands"``.
+    """
+    builders: Dict[str, Callable[[int], SimResult]] = {
+        "original-serial": lambda p: simulate(
+            build_original_plan(
+                setup.program, setup.shape, setup.steps, p,
+                setup.machine, setup.costs, placement="serial",
+            )
+        ),
+        "original": lambda p: simulate(
+            build_original_plan(
+                setup.program, setup.shape, setup.steps, p,
+                setup.machine, setup.costs,
+            )
+        ),
+        "fused": lambda p: simulate(
+            build_fused_plan(
+                setup.program, setup.shape, setup.steps, p,
+                setup.machine, setup.costs,
+            )
+        ),
+        "islands": lambda p: simulate(
+            build_islands_plan(
+                setup.program, setup.shape, setup.steps, p,
+                setup.machine, setup.costs, variant=variant,
+            )
+        ),
+    }
+    out = {}
+    for name in strategies:
+        if name not in builders:
+            raise ValueError(f"unknown strategy {name!r}")
+        out[name] = StrategyTimes(
+            name, tuple(builders[name](p) for p in setup.processors)
+        )
+    return out

@@ -1,0 +1,186 @@
+"""Systematic deviation report: every comparable cell, paper vs model.
+
+Collects all published numbers the reproduction can regenerate — Tables
+1–4 and the Sect. 3.2 traffic figures — pairs each with the model's value,
+and summarizes the error distribution per table.  This is both the
+regression harness behind EXPERIMENTS.md and the honest-broker view of the
+reproduction: a single screen showing exactly how far every cell is from
+the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.report import format_table, relative_error_percent
+from .common import ExperimentSetup
+from . import table1, table2, table3, table4, traffic_claim
+
+__all__ = ["DeviationCell", "DeviationReport", "run"]
+
+
+@dataclass(frozen=True)
+class DeviationCell:
+    """One paper-vs-model comparison."""
+
+    table: str
+    label: str
+    paper: float
+    model: float
+
+    @property
+    def error_percent(self) -> float:
+        return relative_error_percent(self.model, self.paper)
+
+
+@dataclass(frozen=True)
+class DeviationReport:
+    """All comparable cells plus per-table summaries."""
+
+    cells: Tuple[DeviationCell, ...]
+
+    def by_table(self) -> Dict[str, Tuple[DeviationCell, ...]]:
+        grouped: Dict[str, List[DeviationCell]] = {}
+        for cell in self.cells:
+            grouped.setdefault(cell.table, []).append(cell)
+        return {name: tuple(cells) for name, cells in grouped.items()}
+
+    def max_error(self, table: Optional[str] = None) -> float:
+        cells = (
+            self.cells
+            if table is None
+            else self.by_table().get(table, ())
+        )
+        return max(abs(cell.error_percent) for cell in cells)
+
+    def mean_error(self, table: Optional[str] = None) -> float:
+        cells = (
+            self.cells
+            if table is None
+            else self.by_table().get(table, ())
+        )
+        return sum(abs(cell.error_percent) for cell in cells) / len(cells)
+
+    def worst_cells(self, count: int = 5) -> Tuple[DeviationCell, ...]:
+        ordered = sorted(
+            self.cells, key=lambda cell: -abs(cell.error_percent)
+        )
+        return tuple(ordered[:count])
+
+    def render(self) -> str:
+        rows = []
+        for name, cells in sorted(self.by_table().items()):
+            rows.append(
+                (
+                    name,
+                    len(cells),
+                    self.mean_error(name),
+                    self.max_error(name),
+                )
+            )
+        summary = format_table(
+            "Deviation summary - |model/paper - 1| per table",
+            ["table", "cells", "mean %", "max %"],
+            rows,
+        )
+        worst = format_table(
+            "Worst cells",
+            ["table", "cell", "paper", "model", "err %"],
+            [
+                (c.table, c.label, c.paper, c.model, c.error_percent)
+                for c in self.worst_cells()
+            ],
+        )
+        return summary + "\n\n" + worst
+
+
+def run(setup: Optional[ExperimentSetup] = None) -> DeviationReport:
+    """Regenerate everything and collect the full comparison."""
+    if setup is None:
+        setup = ExperimentSetup.paper()
+    cells: List[DeviationCell] = []
+
+    t1 = table1.run(setup)
+    for i, p in enumerate(t1.processors):
+        cells.append(
+            DeviationCell("table1/serial", f"P={p}", t1.serial_paper[i], t1.serial_model[i])
+        )
+        cells.append(
+            DeviationCell(
+                "table1/first-touch", f"P={p}",
+                t1.first_touch_paper[i], t1.first_touch_model[i],
+            )
+        )
+        cells.append(
+            DeviationCell("table1/fused", f"P={p}", t1.fused_paper[i], t1.fused_model[i])
+        )
+
+    t2 = table2.run()
+    for i, islands in enumerate(t2.islands):
+        if islands == 1:
+            continue  # both are exactly zero; relative error undefined
+        cells.append(
+            DeviationCell(
+                "table2/variant-A", f"islands={islands}",
+                t2.variant_a_paper[i], t2.variant_a_model[i],
+            )
+        )
+        cells.append(
+            DeviationCell(
+                "table2/variant-B", f"islands={islands}",
+                t2.variant_b_paper[i], t2.variant_b_model[i],
+            )
+        )
+
+    t3 = table3.run(setup)
+    for i, p in enumerate(t3.processors):
+        cells.append(
+            DeviationCell(
+                "table3/islands", f"P={p}",
+                t3.islands_paper[i], t3.islands_model[i],
+            )
+        )
+        cells.append(
+            DeviationCell("table3/S_pr", f"P={p}", t3.s_pr_paper[i], t3.s_pr_model[i])
+        )
+        cells.append(
+            DeviationCell("table3/S_ov", f"P={p}", t3.s_ov_paper[i], t3.s_ov_model[i])
+        )
+
+    t4 = table4.run(setup)
+    for i, p in enumerate(t4.processors):
+        if t4.sustained_paper[i] is None:
+            continue
+        cells.append(
+            DeviationCell(
+                "table4/sustained", f"P={p}",
+                t4.sustained_paper[i], t4.sustained_model[i],
+            )
+        )
+        cells.append(
+            DeviationCell(
+                "table4/utilization", f"P={p}",
+                t4.utilization_paper[i], t4.utilization_model[i],
+            )
+        )
+        cells.append(
+            DeviationCell(
+                "table4/efficiency", f"P={p}",
+                t4.efficiency_paper[i], t4.efficiency_model[i],
+            )
+        )
+
+    tc = traffic_claim.run()
+    cells.append(
+        DeviationCell(
+            "sect3.2/original-GB", "256x256x64",
+            tc.original_gb_paper, tc.original_gb_model,
+        )
+    )
+    cells.append(
+        DeviationCell(
+            "sect3.2/speedup", "1 CPU", tc.speedup_paper, tc.speedup_model
+        )
+    )
+    return DeviationReport(tuple(cells))

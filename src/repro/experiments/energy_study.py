@@ -1,0 +1,83 @@
+"""Energy study: what the strategies cost in joules, not just seconds.
+
+Applies the first-order energy model (:mod:`repro.analysis.energy`) to the
+three strategies across processor counts.  Two conclusions worth having on
+the record:
+
+* at full machine, energy tracks time — islands' 2.8x time win over the
+  original is also a ~2.8x energy win;
+* on a *powered* shared machine, idle nodes bill too, so the energy-optimal
+  processor count is the largest one that still scales: running the
+  islands code on 2 of 14 nodes costs several times the energy of running
+  it on all 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..analysis.energy import EnergyModel, estimate_energy
+from ..analysis.report import format_table
+from ..machine import simulate
+from .common import ExperimentSetup, run_strategies
+
+__all__ = ["EnergyStudy", "run_energy_study"]
+
+
+@dataclass(frozen=True)
+class EnergyStudy:
+    processors: Tuple[int, ...]
+    total_nodes: int
+    original_kj: Tuple[float, ...]
+    fused_kj: Tuple[float, ...]
+    islands_kj: Tuple[float, ...]
+
+    def islands_energy_optimal_p(self) -> int:
+        index = min(
+            range(len(self.processors)), key=lambda i: self.islands_kj[i]
+        )
+        return self.processors[index]
+
+    def render(self) -> str:
+        rows = [
+            (p, o, f, i)
+            for p, o, f, i in zip(
+                self.processors, self.original_kj, self.fused_kj,
+                self.islands_kj,
+            )
+        ]
+        return format_table(
+            f"Energy study - kJ per 50-step run on a powered "
+            f"{self.total_nodes}-node machine",
+            ["P", "original kJ", "(3+1)D kJ", "islands kJ"],
+            rows,
+            note="First-order model (130 W active / 65 W idle per node); "
+            "idle nodes keep billing, so small-P runs waste energy even "
+            "when their time looks acceptable.",
+        )
+
+
+def run_energy_study(
+    setup: Optional[ExperimentSetup] = None,
+    model: EnergyModel = EnergyModel(),
+) -> EnergyStudy:
+    """Estimate run energy for all three strategies across P."""
+    if setup is None:
+        setup = ExperimentSetup.paper(processors=(1, 2, 4, 8, 14))
+    total_nodes = setup.machine.node_count
+    times = run_strategies(setup, ["original", "fused", "islands"])
+
+    def _kilojoules(strategy: str) -> Tuple[float, ...]:
+        return tuple(
+            estimate_energy(result, total_nodes, model).kilojoules
+            for result in times[strategy].results
+        )
+
+    return EnergyStudy(
+        processors=setup.processors,
+        total_nodes=total_nodes,
+        original_kj=_kilojoules("original"),
+        fused_kj=_kilojoules("fused"),
+        islands_kj=_kilojoules("islands"),
+    )

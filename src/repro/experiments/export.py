@@ -1,0 +1,150 @@
+"""Machine-readable export of the core results.
+
+Writes each regenerated table (and the Fig. 2 series) as a CSV file, so
+external plotting pipelines can consume the reproduction without parsing
+the human-readable reports.  Driven by ``python -m repro export --dir``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..analysis.report import to_csv
+from .common import ExperimentSetup
+from . import deviation, table1, table2, table3, table4
+
+__all__ = ["export_all"]
+
+
+def export_all(
+    directory: Union[str, Path],
+    setup: Optional[ExperimentSetup] = None,
+) -> List[Path]:
+    """Regenerate Tables 1-4, Fig. 2 and the deviation audit as CSVs.
+
+    Returns the written paths.  Columns carry explicit ``model``/``paper``
+    suffixes; missing paper cells (Table 4's P=13) are empty strings.
+    """
+    if setup is None:
+        setup = ExperimentSetup.paper()
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+
+    def _write(name: str, text: str) -> None:
+        path = directory / name
+        path.write_text(text)
+        written.append(path)
+
+    t1 = table1.run(setup)
+    _write(
+        "table1.csv",
+        to_csv(
+            ["P", "serial_model", "serial_paper", "first_touch_model",
+             "first_touch_paper", "fused_model", "fused_paper"],
+            [
+                (
+                    p,
+                    t1.serial_model[i], t1.serial_paper[i],
+                    t1.first_touch_model[i], t1.first_touch_paper[i],
+                    t1.fused_model[i], t1.fused_paper[i],
+                )
+                for i, p in enumerate(t1.processors)
+            ],
+        ),
+    )
+
+    t2 = table2.run()
+    _write(
+        "table2.csv",
+        to_csv(
+            ["islands", "variant_a_model", "variant_a_paper",
+             "variant_b_model", "variant_b_paper"],
+            [
+                (
+                    n,
+                    t2.variant_a_model[i], t2.variant_a_paper[i],
+                    t2.variant_b_model[i], t2.variant_b_paper[i],
+                )
+                for i, n in enumerate(t2.islands)
+            ],
+        ),
+    )
+
+    t3 = table3.run(setup)
+    _write(
+        "table3.csv",
+        to_csv(
+            ["P", "original_model", "original_paper", "fused_model",
+             "fused_paper", "islands_model", "islands_paper",
+             "s_pr_model", "s_pr_paper", "s_ov_model", "s_ov_paper"],
+            [
+                (
+                    p,
+                    t3.original_model[i], t3.original_paper[i],
+                    t3.fused_model[i], t3.fused_paper[i],
+                    t3.islands_model[i], t3.islands_paper[i],
+                    t3.s_pr_model[i], t3.s_pr_paper[i],
+                    t3.s_ov_model[i], t3.s_ov_paper[i],
+                )
+                for i, p in enumerate(t3.processors)
+            ],
+        ),
+    )
+    # Fig. 2 plots exactly the Table 3 series; a dedicated file keeps
+    # plotting scripts one-file-one-figure.
+    _write(
+        "fig2.csv",
+        to_csv(
+            ["P", "original_s", "fused_s", "islands_s", "s_pr", "s_ov"],
+            [
+                (
+                    p,
+                    t3.original_model[i], t3.fused_model[i],
+                    t3.islands_model[i], t3.s_pr_model[i], t3.s_ov_model[i],
+                )
+                for i, p in enumerate(t3.processors)
+            ],
+        ),
+    )
+
+    t4 = table4.run(setup)
+    _write(
+        "table4.csv",
+        to_csv(
+            ["P", "peak_gflops", "sustained_model", "sustained_paper",
+             "utilization_model", "utilization_paper",
+             "efficiency_model", "efficiency_paper"],
+            [
+                (
+                    p,
+                    t4.theoretical_gflops[i],
+                    t4.sustained_model[i],
+                    _blank(t4.sustained_paper[i]),
+                    t4.utilization_model[i],
+                    _blank(t4.utilization_paper[i]),
+                    t4.efficiency_model[i],
+                    _blank(t4.efficiency_paper[i]),
+                )
+                for i, p in enumerate(t4.processors)
+            ],
+        ),
+    )
+
+    audit = deviation.run(setup)
+    _write(
+        "deviation.csv",
+        to_csv(
+            ["table", "cell", "paper", "model", "error_percent"],
+            [
+                (c.table, c.label, c.paper, c.model, c.error_percent)
+                for c in audit.cells
+            ],
+        ),
+    )
+    return written
+
+
+def _blank(value) -> object:
+    return "" if value is None else value

@@ -1,0 +1,268 @@
+"""The paper's future-work directions, evaluated (Sect. 6).
+
+Three studies the paper proposes but does not perform:
+
+1. **2D processor grids** — "investigating more complex 2D variants will be
+   among the main goals of our future works": islands under every 2D
+   factorization of P next to the 1D variants.  (Finding: 2D reduces total
+   redundancy once P is large — at P = 14 a 7x2 grid already edges out
+   1D-A.)
+2. **Islands inside each CPU** — two-level decomposition redundancy: what
+   full intra-processor independence costs for various per-core grids.
+   (Finding: 1D core islands along *i* are prohibitive (~24 % extra), but
+   j-axis or 2D core grids keep the total under ~7-12 %.)
+3. **MPI-style scaling beyond one machine** — the three strategies on a
+   cluster of UV-class boxes joined by an InfiniBand-class network,
+   projecting the islands approach to 4x the paper's maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import paperdata
+from ..analysis.report import format_table
+from ..core import (
+    Variant,
+    partition_grid_2d,
+    two_level_redundancy,
+)
+from ..core.optimizer import grid_factorizations
+from ..machine import cluster_of_smps, simulate, uv2000_costs, xeon_e5_4627v2
+from ..mpdata import mpdata_program
+from ..sched import (
+    build_fused_plan,
+    build_islands_plan,
+    build_original_plan,
+    build_two_level_plan,
+)
+from ..stencil import full_box
+from .common import ExperimentSetup
+
+__all__ = [
+    "PartitionStudy",
+    "TwoLevelStudy",
+    "ClusterProjection",
+    "run_partition_study",
+    "run_two_level_study",
+    "run_cluster_projection",
+]
+
+
+# ----------------------------------------------------------------------
+# 1. 1D vs 2D processor grids
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PartitionStudy:
+    processors: Tuple[int, ...]
+    rows: Tuple[Tuple[int, str, float, float], ...]  # (P, label, seconds, extra %)
+
+    def best_label(self, processors: int) -> str:
+        candidates = [row for row in self.rows if row[0] == processors]
+        return min(candidates, key=lambda row: row[2])[1]
+
+    def render(self) -> str:
+        return format_table(
+            "Future work 1 - islands partitioning: 1D variants vs 2D grids",
+            ["P", "partition", "time [s]", "extra %"],
+            self.rows,
+            note="2D grids cut the number of wide-axis cuts; once P is "
+            "large their lower redundancy beats 1D-A.",
+        )
+
+
+def run_partition_study(
+    setup: Optional[ExperimentSetup] = None,
+) -> PartitionStudy:
+    """Simulate islands under every 1D and 2D partitioning of P."""
+    if setup is None:
+        setup = ExperimentSetup.paper(processors=(4, 8, 12, 14))
+    domain = full_box(setup.shape)
+    rows: List[Tuple[int, str, float, float]] = []
+    for p in setup.processors:
+        configs: List[Tuple[str, object]] = [
+            ("1D-A", None),
+            ("1D-B", None),
+        ]
+        for pi, pj in grid_factorizations(p):
+            configs.append((f"2D {pi}x{pj}", partition_grid_2d(domain, pi, pj)))
+        for label, partition in configs:
+            variant = Variant.B if label == "1D-B" else Variant.A
+            plan = build_islands_plan(
+                setup.program, setup.shape, setup.steps, p,
+                setup.machine, setup.costs,
+                variant=variant, partition=partition,
+            )
+            result = simulate(plan)
+            if partition is None:
+                from ..core import partition_domain, redundancy_report
+
+                report = redundancy_report(
+                    setup.program, partition_domain(domain, p, variant)
+                )
+            else:
+                from ..core import redundancy_report
+
+                report = redundancy_report(setup.program, partition)
+            rows.append(
+                (p, label, result.total_seconds, report.extra_percent)
+            )
+    return PartitionStudy(setup.processors, tuple(rows))
+
+
+# ----------------------------------------------------------------------
+# 2. Two-level (intra-CPU) islands
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TwoLevelStudy:
+    outer: int
+    rows: Tuple[Tuple[str, float, float, float, float, float], ...]
+    # (inner grid label, outer %, inner %, total %, predicted s, speedup
+    #  over plain islands)
+
+    def best_grid(self) -> str:
+        """Inner grid with the lowest predicted time."""
+        return min(self.rows, key=lambda row: row[4])[0]
+
+    def render(self) -> str:
+        return format_table(
+            f"Future work 2 - two-level islands: redundancy and predicted "
+            f"time (outer = {self.outer} processors)",
+            ["core grid", "outer %", "+core %", "total %", "time [s]",
+             "vs islands"],
+            self.rows,
+            note="Full per-core independence is affordable only with "
+            "j-axis or 2D core grids (i-axis core slabs are thinner than "
+            "the transitive halo); where it is affordable, the model "
+            "projects up to ~15 % over the plain work-team islands — an "
+            "optimistic bound that credits per-core blocking with the "
+            "full (3+1)D rate.",
+        )
+
+
+def run_two_level_study(
+    outer: int = 14,
+    inner_grids: Sequence[Tuple[int, int]] = ((1, 1), (8, 1), (4, 2), (2, 4), (1, 8)),
+    shape: Optional[Tuple[int, int, int]] = None,
+    steps: int = None,
+) -> TwoLevelStudy:
+    """Exact redundancy and predicted time of nested islands."""
+    from ..machine import sgi_uv2000, uv2000_costs
+    from .common import ExperimentSetup
+
+    program = mpdata_program()
+    grid = shape if shape is not None else paperdata.GRID_SHAPE
+    n_steps = steps if steps is not None else paperdata.TIME_STEPS
+    domain = full_box(grid)
+    machine = sgi_uv2000()
+    costs = uv2000_costs()
+
+    plain = simulate(
+        build_islands_plan(program, grid, n_steps, outer, machine, costs)
+    ).total_seconds
+
+    rows = []
+    for inner in inner_grids:
+        result = two_level_redundancy(program, domain, outer, inner)
+        predicted = simulate(
+            build_two_level_plan(
+                program, grid, n_steps, outer, inner, machine, costs
+            )
+        ).total_seconds
+        label = "none" if inner == (1, 1) else f"{inner[0]}x{inner[1]}"
+        rows.append(
+            (
+                label,
+                result.outer_percent,
+                result.inner_percent,
+                result.total_percent,
+                predicted,
+                plain / predicted,
+            )
+        )
+    return TwoLevelStudy(outer, tuple(rows))
+
+
+# ----------------------------------------------------------------------
+# 3. Cluster-scale projection
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClusterProjection:
+    processors: Tuple[int, ...]
+    original_seconds: Tuple[float, ...]
+    fused_seconds: Tuple[float, ...]
+    islands_seconds: Tuple[float, ...]
+    islands_efficiency: Tuple[float, ...]  # % of linear vs islands P=14
+
+    def render(self) -> str:
+        rows = []
+        for i, p in enumerate(self.processors):
+            rows.append(
+                (
+                    p,
+                    self.original_seconds[i],
+                    self.fused_seconds[i],
+                    self.islands_seconds[i],
+                    self.islands_efficiency[i],
+                )
+            )
+        return format_table(
+            "Future work 3 - projection to a 4-box cluster of UV machines "
+            "(grid 2048x1024x64)",
+            ["P", "original [s]", "(3+1)D [s]", "islands [s]", "islands eff %"],
+            rows,
+            note="Efficiency is relative to linear scaling from the "
+            "single-box P=14 islands time.  Islands keep scaling across "
+            "the cluster link because only thin input halos cross it.",
+        )
+
+
+def run_cluster_projection(
+    machines: int = 4,
+    processor_points: Sequence[int] = (14, 28, 42, 56),
+    shape: Tuple[int, int, int] = (2048, 1024, 64),
+    steps: int = 50,
+) -> ClusterProjection:
+    """Project the three strategies onto a multi-machine cluster.
+
+    Uses a 4x larger grid than the paper (weak-scaled per box) so that 56
+    islands still hold slabs much wider than the halo.
+    """
+    program = mpdata_program()
+    machine = cluster_of_smps(machines, 7, xeon_e5_4627v2())
+    costs = uv2000_costs()
+
+    original = []
+    fused = []
+    islands = []
+    for p in processor_points:
+        original.append(
+            simulate(
+                build_original_plan(program, shape, steps, p, machine, costs)
+            ).total_seconds
+        )
+        fused.append(
+            simulate(
+                build_fused_plan(program, shape, steps, p, machine, costs)
+            ).total_seconds
+        )
+        islands.append(
+            simulate(
+                build_islands_plan(program, shape, steps, p, machine, costs)
+            ).total_seconds
+        )
+
+    base_p = processor_points[0]
+    base_t = islands[0]
+    efficiency = tuple(
+        100.0 * (base_t * base_p) / (t * p)
+        for p, t in zip(processor_points, islands)
+    )
+    return ClusterProjection(
+        tuple(processor_points),
+        tuple(original),
+        tuple(fused),
+        tuple(islands),
+        efficiency,
+    )

@@ -1,0 +1,164 @@
+"""Generality study: islands-of-cores beyond MPDATA.
+
+The paper's contribution is presented through one application.  Because
+every analysis in this library is derived from the IR, the whole pipeline
+— traffic accounting, blocking, redundancy, the three execution strategies
+— runs unchanged for *any* stencil program.  This module sweeps the
+gallery (:mod:`repro.stencil.gallery`) plus MPDATA through the machine
+model and reports, per application:
+
+* structure: stages, arithmetic flops/point, transitive input halo;
+* redundancy: extra elements at 14 islands (variant A);
+* the islands payoff: S_pr = pure-(3+1)D time / islands time at P = 14.
+
+A second sweep varies the pipeline depth of a synthetic smoother chain —
+the controlled experiment behind the observation that *deep heterogeneous
+chains are exactly where islands win big*: per-stage hand-off costs grow
+with depth while redundancy stays modest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..analysis.report import format_table
+from ..core import Variant, partition_domain, redundancy_report
+from ..machine import simulate, sgi_uv2000, uv2000_costs
+from ..mpdata import mpdata_program
+from ..mpdata.solver import GhostSpec
+from ..sched import build_fused_plan, build_islands_plan
+from ..stencil import (
+    GALLERY,
+    StencilProgram,
+    full_box,
+    program_arith_flops_per_point,
+    smoother_chain,
+)
+
+__all__ = ["GeneralityStudy", "DepthStudy", "run_generality_study", "run_depth_study"]
+
+_SHAPE = (512, 256, 64)
+_STEPS = 50
+_PROCESSORS = 14
+
+
+@dataclass(frozen=True)
+class GeneralityStudy:
+    """Per-application structure, redundancy and islands payoff."""
+
+    shape: Tuple[int, int, int]
+    rows: Tuple[Tuple[str, int, int, int, float, float], ...]
+    # (name, stages, flops/pt, input halo, extra % @ P, S_pr @ P)
+
+    def s_pr_of(self, name: str) -> float:
+        for row in self.rows:
+            if row[0] == name:
+                return row[5]
+        raise KeyError(name)
+
+    def render(self) -> str:
+        return format_table(
+            f"Generality - islands payoff across stencil applications "
+            f"(P = {_PROCESSORS}, grid {self.shape[0]}x{self.shape[1]}x"
+            f"{self.shape[2]})",
+            ["application", "stages", "flops/pt", "halo", "extra %", "S_pr"],
+            self.rows,
+            note="S_pr = pure (3+1)D time / islands time.  Deep chains "
+            "(MPDATA) gain most: their per-stage hand-offs dominate the "
+            "fused schedule while their redundancy stays small.  "
+            "Single-stage kernels are the negative control: with no "
+            "intermediates to keep local, islands cannot win (S_pr < 1 "
+            "reflects the work-team rate penalty and per-step overhead).",
+        )
+
+
+def _analyse(
+    program: StencilProgram,
+    shape: Tuple[int, int, int],
+    steps: int,
+    processors: int,
+) -> Tuple[int, int, int, float, float]:
+    machine = sgi_uv2000()
+    costs = uv2000_costs()
+    domain = full_box(shape)
+
+    spec = GhostSpec.for_program(program, shape)
+    halo = max(max(spec.lo), max(spec.hi))
+    report = redundancy_report(
+        program, partition_domain(domain, processors, Variant.A)
+    )
+    fused = simulate(
+        build_fused_plan(program, shape, steps, processors, machine, costs)
+    ).total_seconds
+    islands = simulate(
+        build_islands_plan(program, shape, steps, processors, machine, costs)
+    ).total_seconds
+    return (
+        len(program.stages),
+        program_arith_flops_per_point(program),
+        halo,
+        report.extra_percent,
+        fused / islands,
+    )
+
+
+def run_generality_study(
+    shape: Tuple[int, int, int] = _SHAPE,
+    steps: int = _STEPS,
+    processors: int = _PROCESSORS,
+) -> GeneralityStudy:
+    """Sweep the gallery plus MPDATA through the full pipeline."""
+    programs = [("mpdata", mpdata_program())]
+    programs.extend(
+        (name, builder()) for name, builder in sorted(GALLERY.items())
+    )
+    rows = []
+    for name, program in programs:
+        stages, flops, halo, extra, s_pr = _analyse(
+            program, shape, steps, processors
+        )
+        rows.append((name, stages, flops, halo, extra, s_pr))
+    return GeneralityStudy(shape, tuple(rows))
+
+
+@dataclass(frozen=True)
+class DepthStudy:
+    """Redundancy and payoff versus pipeline depth (smoother chains)."""
+
+    depths: Tuple[int, ...]
+    extra_percent: Tuple[float, ...]
+    s_pr: Tuple[float, ...]
+
+    def render(self) -> str:
+        rows = list(zip(self.depths, self.extra_percent, self.s_pr))
+        return format_table(
+            f"Generality - pipeline depth vs redundancy and payoff "
+            f"(P = {_PROCESSORS})",
+            ["chain depth", "extra %", "S_pr"],
+            rows,
+            note="Each stage adds one halo layer of redundancy but a full "
+            "per-block hand-off to the fused schedule; the islands "
+            "advantage widens with depth.  Beyond depth ~12 the halo "
+            "outgrows the cache-blocked working set and pure (3+1)D "
+            "stops being runnable at all on a 16 MB L3.",
+        )
+
+
+def run_depth_study(
+    depths: Sequence[int] = (1, 2, 4, 8, 12),
+    shape: Tuple[int, int, int] = _SHAPE,
+    steps: int = _STEPS,
+    processors: int = _PROCESSORS,
+) -> DepthStudy:
+    """Sweep synthetic chain depth through redundancy and simulation."""
+    extra = []
+    s_pr = []
+    for depth in depths:
+        program = smoother_chain(depth)
+        _, _, _, extra_percent, payoff = _analyse(
+            program, shape, steps, processors
+        )
+        extra.append(extra_percent)
+        s_pr.append(payoff)
+    return DepthStudy(tuple(depths), tuple(extra), tuple(s_pr))

@@ -1,0 +1,78 @@
+"""Table 1: original (serial / first-touch init) vs pure (3+1)D times.
+
+Regenerates the execution times of 50 MPDATA steps on 1024 x 512 x 64 for
+P = 1..14 processors under the three pre-islands configurations, next to
+the paper's measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .. import paperdata
+from ..analysis.report import format_table
+from .common import ExperimentSetup, run_strategies
+
+__all__ = ["Table1Result", "run"]
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """Modelled and published times for Table 1."""
+
+    processors: Tuple[int, ...]
+    serial_model: Tuple[float, ...]
+    serial_paper: Tuple[float, ...]
+    first_touch_model: Tuple[float, ...]
+    first_touch_paper: Tuple[float, ...]
+    fused_model: Tuple[float, ...]
+    fused_paper: Tuple[float, ...]
+
+    def max_relative_error(self) -> float:
+        """Worst |model/paper - 1| across every cell with a paper value."""
+        worst = 0.0
+        for model, paper in (
+            (self.serial_model, self.serial_paper),
+            (self.first_touch_model, self.first_touch_paper),
+            (self.fused_model, self.fused_paper),
+        ):
+            for m, p in zip(model, paper):
+                worst = max(worst, abs(m / p - 1.0))
+        return worst
+
+    def render(self) -> str:
+        rows = []
+        for i, p in enumerate(self.processors):
+            rows.append(
+                (
+                    p,
+                    self.serial_model[i], self.serial_paper[i],
+                    self.first_touch_model[i], self.first_touch_paper[i],
+                    self.fused_model[i], self.fused_paper[i],
+                )
+            )
+        return format_table(
+            "Table 1 - execution times [s], 50 steps of 1024x512x64",
+            ["P", "serial", "(paper)", "first-touch", "(paper)", "(3+1)D", "(paper)"],
+            rows,
+            note="serial = original with serial initialization; first-touch = "
+            "original with parallel first-touch initialization.",
+        )
+
+
+def run(setup: Optional[ExperimentSetup] = None) -> Table1Result:
+    """Simulate the three Table 1 configurations."""
+    if setup is None:
+        setup = ExperimentSetup.paper()
+    times = run_strategies(setup, ["original-serial", "original", "fused"])
+    index = [p - 1 for p in setup.processors]
+    return Table1Result(
+        processors=setup.processors,
+        serial_model=times["original-serial"].seconds,
+        serial_paper=tuple(paperdata.TABLE1_ORIGINAL_SERIAL_INIT[i] for i in index),
+        first_touch_model=times["original"].seconds,
+        first_touch_paper=tuple(paperdata.TABLE3_ORIGINAL[i] for i in index),
+        fused_model=times["fused"].seconds,
+        fused_paper=tuple(paperdata.TABLE3_FUSED[i] for i in index),
+    )

@@ -1,0 +1,135 @@
+"""Table 3 and Fig. 2: the headline comparison.
+
+Execution times of the original version, the pure (3+1)D decomposition and
+the islands-of-cores approach for P = 1..14, plus the partial speedup
+``S_pr`` (islands vs (3+1)D) and overall speedup ``S_ov`` (islands vs
+original).  Fig. 2a plots the three time series, Fig. 2b the two speedup
+series — same data, so this module serves both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .. import paperdata
+from ..analysis.metrics import speedup_overall, speedup_partial
+from ..analysis.report import format_series, format_table
+from .common import ExperimentSetup, run_strategies
+
+__all__ = ["Table3Result", "run"]
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """Modelled and published times and speedups."""
+
+    processors: Tuple[int, ...]
+    original_model: Tuple[float, ...]
+    fused_model: Tuple[float, ...]
+    islands_model: Tuple[float, ...]
+    original_paper: Tuple[float, ...]
+    fused_paper: Tuple[float, ...]
+    islands_paper: Tuple[float, ...]
+
+    @property
+    def s_pr_model(self) -> Tuple[float, ...]:
+        return tuple(
+            speedup_partial(f, i)
+            for f, i in zip(self.fused_model, self.islands_model)
+        )
+
+    @property
+    def s_ov_model(self) -> Tuple[float, ...]:
+        return tuple(
+            speedup_overall(o, i)
+            for o, i in zip(self.original_model, self.islands_model)
+        )
+
+    @property
+    def s_pr_paper(self) -> Tuple[float, ...]:
+        return tuple(
+            speedup_partial(f, i)
+            for f, i in zip(self.fused_paper, self.islands_paper)
+        )
+
+    @property
+    def s_ov_paper(self) -> Tuple[float, ...]:
+        return tuple(
+            speedup_overall(o, i)
+            for o, i in zip(self.original_paper, self.islands_paper)
+        )
+
+    # ------------------------------------------------------------------
+    def crossover_processors(self) -> Optional[int]:
+        """Smallest P where the original beats the pure (3+1)D (the paper
+        finds P = 4 on its hardware) — the qualitative shape check."""
+        for p, orig, fused in zip(
+            self.processors, self.original_model, self.fused_model
+        ):
+            if orig < fused:
+                return p
+        return None
+
+    def render(self) -> str:
+        rows = []
+        for i, p in enumerate(self.processors):
+            rows.append(
+                (
+                    p,
+                    self.original_model[i], self.original_paper[i],
+                    self.fused_model[i], self.fused_paper[i],
+                    self.islands_model[i], self.islands_paper[i],
+                    self.s_pr_model[i], self.s_pr_paper[i],
+                    self.s_ov_model[i], self.s_ov_paper[i],
+                )
+            )
+        return format_table(
+            "Table 3 - times [s] and speedups, 50 steps of 1024x512x64",
+            [
+                "P",
+                "orig", "(pap)",
+                "(3+1)D", "(pap)",
+                "islands", "(pap)",
+                "S_pr", "(pap)",
+                "S_ov", "(pap)",
+            ],
+            rows,
+        )
+
+    def render_fig2a(self) -> str:
+        return format_series(
+            "Fig. 2a - execution time [s] vs processors",
+            "P",
+            self.processors,
+            [
+                ("original", self.original_model),
+                ("(3+1)D", self.fused_model),
+                ("islands", self.islands_model),
+            ],
+        )
+
+    def render_fig2b(self) -> str:
+        return format_series(
+            "Fig. 2b - speedups of the islands-of-cores approach",
+            "P",
+            self.processors,
+            [("S_pr", self.s_pr_model), ("S_ov", self.s_ov_model)],
+        )
+
+
+def run(setup: Optional[ExperimentSetup] = None) -> Table3Result:
+    """Simulate the three strategies of Table 3 / Fig. 2."""
+    if setup is None:
+        setup = ExperimentSetup.paper()
+    times = run_strategies(setup, ["original", "fused", "islands"])
+    index = [p - 1 for p in setup.processors]
+    return Table3Result(
+        processors=setup.processors,
+        original_model=times["original"].seconds,
+        fused_model=times["fused"].seconds,
+        islands_model=times["islands"].seconds,
+        original_paper=tuple(paperdata.TABLE3_ORIGINAL[i] for i in index),
+        fused_paper=tuple(paperdata.TABLE3_FUSED[i] for i in index),
+        islands_paper=tuple(paperdata.TABLE3_ISLANDS[i] for i in index),
+    )

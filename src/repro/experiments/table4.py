@@ -1,0 +1,123 @@
+"""Table 4: sustained performance, utilization and parallel efficiency.
+
+Sustained Gflop/s divide the executed arithmetic flops of the islands run
+(redundant halo computations included, as the paper's numbers imply) by the
+simulated time.  Utilization is against the machine's theoretical peak
+(105.6 Gflop/s per processor).  "Parallel efficiency" follows the paper's
+definition — the scaling efficiency of the *original* version (see
+:mod:`repro.analysis.metrics` for the forensic note).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .. import paperdata
+from ..analysis.metrics import efficiency_percent, utilization_percent
+from ..analysis.report import format_table
+from .common import ExperimentSetup, run_strategies
+
+__all__ = ["Table4Result", "run"]
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    """Modelled and published sustained-performance columns."""
+
+    processors: Tuple[int, ...]
+    theoretical_gflops: Tuple[float, ...]
+    sustained_model: Tuple[float, ...]
+    sustained_paper: Tuple[Optional[float], ...]
+    utilization_model: Tuple[float, ...]
+    utilization_paper: Tuple[Optional[float], ...]
+    efficiency_model: Tuple[float, ...]
+    efficiency_paper: Tuple[Optional[float], ...]
+
+    def render(self) -> str:
+        rows = []
+        for i, p in enumerate(self.processors):
+            rows.append(
+                (
+                    p,
+                    self.theoretical_gflops[i],
+                    self.sustained_model[i],
+                    _opt(self.sustained_paper[i]),
+                    self.utilization_model[i],
+                    _opt(self.utilization_paper[i]),
+                    self.efficiency_model[i],
+                    _opt(self.efficiency_paper[i]),
+                )
+            )
+        return format_table(
+            "Table 4 - sustained performance of the islands-of-cores approach",
+            [
+                "P", "peak GF/s",
+                "sust GF/s", "(pap)",
+                "util %", "(pap)",
+                "eff %", "(pap)",
+            ],
+            rows,
+            note="Flop counts use the arithmetic-only convention of hardware "
+            "counters (218 flops/point from the IR); efficiency is the "
+            "paper's original-version scaling definition.",
+        )
+
+
+def _opt(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.1f}"
+
+
+def run(setup: Optional[ExperimentSetup] = None) -> Table4Result:
+    """Simulate the islands run and derive the Table 4 columns."""
+    if setup is None:
+        setup = ExperimentSetup.paper()
+    times = run_strategies(setup, ["original", "islands"])
+    islands = times["islands"].results
+    original = times["original"].seconds
+
+    paper_by_p = {
+        p: (s, u, e)
+        for p, s, u, e in zip(
+            paperdata.TABLE4_PROCESSORS,
+            paperdata.TABLE4_SUSTAINED_GFLOPS,
+            paperdata.TABLE4_UTILIZATION_PERCENT,
+            paperdata.TABLE4_EFFICIENCY_PERCENT,
+        )
+    }
+
+    theoretical = []
+    sustained = []
+    utilization = []
+    efficiency = []
+    sustained_paper = []
+    utilization_paper = []
+    efficiency_paper = []
+    original_single = original[0] if setup.processors[0] == 1 else None
+    for i, p in enumerate(setup.processors):
+        peak = setup.machine.peak_flops(p) / 1e9
+        theoretical.append(peak)
+        sust = islands[i].gflops
+        sustained.append(sust)
+        utilization.append(utilization_percent(sust, peak))
+        if original_single is not None:
+            efficiency.append(
+                efficiency_percent(original_single, original[i], p)
+            )
+        else:
+            efficiency.append(float("nan"))
+        paper = paper_by_p.get(p)
+        sustained_paper.append(paper[0] if paper else None)
+        utilization_paper.append(paper[1] if paper else None)
+        efficiency_paper.append(paper[2] if paper else None)
+
+    return Table4Result(
+        processors=setup.processors,
+        theoretical_gflops=tuple(theoretical),
+        sustained_model=tuple(sustained),
+        sustained_paper=tuple(sustained_paper),
+        utilization_model=tuple(utilization),
+        utilization_paper=tuple(utilization_paper),
+        efficiency_model=tuple(efficiency),
+        efficiency_paper=tuple(efficiency_paper),
+    )

@@ -1,0 +1,64 @@
+"""The SMP/NUMA machine substrate.
+
+Structural machine description (:mod:`repro.machine.topology`), presets for
+the paper's SGI UV 2000 and friends (:mod:`repro.machine.presets`),
+calibrated timing regimes (:mod:`repro.machine.costmodel`) and the
+phase-level simulator with link contention (:mod:`repro.machine.simulator`).
+"""
+
+from .costmodel import CostModel, uv2000_costs
+from .memory import (
+    AccessMatrix,
+    first_touch_matrix,
+    interleaved_matrix,
+    serial_matrix,
+    sweep_phase,
+)
+from .presets import (
+    INTRA_BLADE_BANDWIDTH,
+    NUMALINK6_BANDWIDTH,
+    blade_machine,
+    cluster_of_smps,
+    sgi_uv2000,
+    uniform_smp,
+    xeon_e5_2660v2,
+    xeon_e5_4627v2,
+)
+from .simulator import (
+    ExecutionPlan,
+    Phase,
+    PhaseTiming,
+    SimResult,
+    Transfer,
+    simulate,
+    transfer_seconds,
+)
+from .topology import Link, MachineSpec, NodeSpec
+
+__all__ = [
+    "AccessMatrix",
+    "CostModel",
+    "ExecutionPlan",
+    "INTRA_BLADE_BANDWIDTH",
+    "Link",
+    "MachineSpec",
+    "NUMALINK6_BANDWIDTH",
+    "NodeSpec",
+    "Phase",
+    "PhaseTiming",
+    "SimResult",
+    "Transfer",
+    "blade_machine",
+    "cluster_of_smps",
+    "first_touch_matrix",
+    "interleaved_matrix",
+    "serial_matrix",
+    "sweep_phase",
+    "sgi_uv2000",
+    "simulate",
+    "transfer_seconds",
+    "uniform_smp",
+    "uv2000_costs",
+    "xeon_e5_2660v2",
+    "xeon_e5_4627v2",
+]

@@ -1,0 +1,152 @@
+"""Timing constants and regime formulas for the NUMA performance model.
+
+The simulator charges time through a small set of *regimes*, each a
+mechanism the paper discusses:
+
+* ``stream`` — a stage sweep bound by local DRAM bandwidth (the original
+  version with first-touch placement: intermediates live in main memory).
+* ``pool`` — all traffic served by one node's memory controller over the
+  interconnect (the original version with serial initialization; Table 1's
+  first row).  Effective bandwidth decays from the local stream value
+  toward a contended floor as more nodes hammer the same controller.
+* ``cached`` — cache-blocked compute, all 17 stages on in-cache data (the
+  (3+1)D regime).  Charged per arithmetic flop at an effective node rate.
+* ``team`` — the same cache-blocked compute inside an island's work team,
+  slightly cheaper interconnect-wise but with scheduler overhead; the
+  per-flop rate is a separately calibrated constant.
+
+Synchronization costs: inter-node barriers follow a tree model
+(``sync_log_coeff * log2(P)``); the pure (3+1)D decomposition additionally
+pays a per-block-per-stage penalty for cross-node cache-line exchange and
+block hand-off, the mechanism Sect. 5 blames for its collapse.
+
+Default constants are calibrated once against four anchors of Table 1
+(see :mod:`repro.analysis.calibration`, which re-derives and checks them);
+everything else the model outputs is a prediction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["CostModel", "uv2000_costs"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Calibrated machine-behaviour constants (one node class)."""
+
+    #: Effective node throughput for cache-blocked stencil compute,
+    #: arithmetic flops/s ((3+1)D regime; from Table 1, (3+1)D at P=1).
+    fused_flops: float
+    #: Effective node throughput inside an island work team (P >= 2).
+    #: Lower than ``fused_flops``: the proprietary scheduler's work-team
+    #: management and the slab's worse block aspect ratio cost ~20 %.
+    team_flops: float
+    #: Per-node local DRAM stream bandwidth, bytes/s.
+    stream_bandwidth: float
+    #: Contended floor of a single memory controller serving all nodes
+    #: (serial-initialization regime), bytes/s.
+    remote_pool_floor: float
+    #: Tree-barrier coefficient: one inter-node barrier costs
+    #: ``sync_log_coeff * log2(P)`` seconds.
+    sync_log_coeff: float
+    #: Islands: fixed per-time-step orchestration cost (input sharing,
+    #: output return, work redistribution), seconds.
+    island_step_overhead: float
+    #: Islands: additional per-time-step cost per participating node.
+    island_step_overhead_per_node: float
+    #: Pure (3+1)D on P nodes: fixed cost per block per stage (hand-off
+    #: of the block between stages across the machine), seconds.
+    block_sync_seconds: float
+    #: ... plus this much per participating node (cache-line invalidation
+    #: storms scale with sharers), seconds.
+    block_sync_per_node: float
+    #: ... plus this many bytes of boundary cache lines crossing the
+    #: interconnect per block per stage.
+    block_boundary_bytes: float
+
+    # ------------------------------------------------------------------
+    # Regime formulas
+    # ------------------------------------------------------------------
+    def stream_seconds(self, bytes_per_node: float) -> float:
+        """Local-DRAM-bound sweep time for one node's share."""
+        return bytes_per_node / self.stream_bandwidth
+
+    def pool_bandwidth(self, nodes: int) -> float:
+        """Effective bandwidth of one controller serving ``nodes`` nodes.
+
+        ``floor + (local - floor) / nodes``: with one node it is the local
+        stream bandwidth; as node count grows it saturates at the remote
+        floor (roughly two NUMAlink ports' worth).
+        """
+        return self.remote_pool_floor + (
+            self.stream_bandwidth - self.remote_pool_floor
+        ) / nodes
+
+    def pool_seconds(self, total_bytes: float, nodes: int) -> float:
+        """Serial-initialization sweep: everything through one controller."""
+        return total_bytes / self.pool_bandwidth(nodes)
+
+    def cached_seconds(self, flops: float, nodes: int = 1, team: bool = False) -> float:
+        """Cache-blocked compute time for ``flops`` arithmetic flops on one
+        node (``nodes`` kept for symmetry: flops should already be the
+        node's share)."""
+        rate = self.team_flops if team else self.fused_flops
+        return flops / rate
+
+    def barrier_seconds(self, nodes: int) -> float:
+        """One inter-node tree barrier."""
+        if nodes <= 1:
+            return 0.0
+        return self.sync_log_coeff * math.log2(nodes)
+
+    def island_step_seconds(self, nodes: int) -> float:
+        """Per-time-step islands orchestration (phases 1, 4, 5 of
+        Sect. 4.2), excluding the barrier itself."""
+        if nodes <= 1:
+            return 0.0
+        return (
+            self.island_step_overhead
+            + self.island_step_overhead_per_node * nodes
+        )
+
+    def block_stage_overhead(self, nodes: int, link_bandwidth: float) -> float:
+        """Pure (3+1)D: cost of pushing one block through one stage when
+        ``nodes`` processors co-operate on it."""
+        if nodes <= 1:
+            return 0.0
+        return (
+            self.block_sync_seconds
+            + self.block_sync_per_node * nodes
+            + self.block_boundary_bytes / link_bandwidth
+        )
+
+
+def uv2000_costs() -> CostModel:
+    """Constants calibrated for the SGI UV 2000 (see calibration module).
+
+    Provenance of each value, all anchored to Table 1 of the paper plus the
+    IR-derived work counts (218 arithmetic flops/point, 616 stream
+    bytes/point for the original version):
+
+    * ``fused_flops`` — (3+1)D, P=1: 9.0 s for 50 steps of 1024x512x64.
+    * ``team_flops`` — islands row, P=2..12 slope.
+    * ``stream_bandwidth`` — original (first touch), P=1: 30.4 s.
+    * ``remote_pool_floor`` — original (serial init), P=14: 82.2 s.
+    * ``sync_log_coeff`` — original (first touch) residuals over P.
+    * island / block overheads — islands and (3+1)D rows, P >= 2.
+    """
+    return CostModel(
+        fused_flops=4.06381e10,
+        team_flops=3.29213e10,
+        stream_bandwidth=3.39959e10,
+        remote_pool_floor=1.09248e10,
+        sync_log_coeff=1.72062e-4,
+        island_step_overhead=2.13635e-3,
+        island_step_overhead_per_node=0.0,
+        block_sync_seconds=3.99944e-6,
+        block_sync_per_node=1.22272e-6,
+        block_boundary_bytes=1.6384e4,
+    )

@@ -1,0 +1,161 @@
+"""Machine presets: the paper's hardware and test configurations.
+
+The headline machine is the IT4Innovations SGI UV 2000 (Sect. 2): one IRU
+with 14 NUMA nodes — 8-core Intel Xeon E5-4627v2 @ 3.3 GHz each, ~236 GB
+RAM per node — in 7 two-node blades, joined by NUMAlink 6 at 6.7 GB/s per
+direction.  105.6 Gflop/s peak per processor (Table 4) implies the paper
+counts 4 DP flops/cycle/core.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .topology import Link, MachineSpec, NodeSpec
+
+__all__ = [
+    "NUMALINK6_BANDWIDTH",
+    "INTRA_BLADE_BANDWIDTH",
+    "xeon_e5_4627v2",
+    "xeon_e5_2660v2",
+    "sgi_uv2000",
+    "blade_machine",
+    "cluster_of_smps",
+    "uniform_smp",
+]
+
+#: NUMAlink 6 point-to-point bandwidth, bytes/s per direction (Sect. 2).
+NUMALINK6_BANDWIDTH = 6.7e9
+#: Intra-blade (socket-to-socket, QPI-class) bandwidth, bytes/s.
+INTRA_BLADE_BANDWIDTH = 25.6e9
+
+_NUMALINK_LATENCY = 5.0e-7
+_INTRA_BLADE_LATENCY = 1.0e-7
+
+
+def xeon_e5_4627v2() -> NodeSpec:
+    """The UV 2000's node processor: 8 cores @ 3.3 GHz, 16 MB L3.
+
+    Effective local stream bandwidth is set to 34 GB/s — two thirds of the
+    4-channel DDR3-1600 peak (51.2 GB/s), the usual stream efficiency of
+    that generation; EXPERIMENTS.md shows this value also follows from
+    Table 1's single-CPU time combined with our IR-derived traffic count.
+    """
+    return NodeSpec(
+        cores=8,
+        clock_hz=3.3e9,
+        flops_per_cycle=4,
+        l3_bytes=16 * 1024 * 1024,
+        dram_bandwidth=34.0e9,
+        dram_bytes=236 * 1024**3,
+    )
+
+
+def xeon_e5_2660v2() -> NodeSpec:
+    """The 10-core CPU of the Sect. 3.2 traffic experiment (25 MB L3)."""
+    return NodeSpec(
+        cores=10,
+        clock_hz=2.2e9,
+        flops_per_cycle=4,
+        l3_bytes=25 * 1024 * 1024,
+        dram_bandwidth=38.0e9,
+        dram_bytes=64 * 1024**3,
+    )
+
+
+def blade_machine(
+    blades: int,
+    node: NodeSpec,
+    name: str = "blade-machine",
+    intra_blade_bandwidth: float = INTRA_BLADE_BANDWIDTH,
+    numalink_bandwidth: float = NUMALINK6_BANDWIDTH,
+) -> MachineSpec:
+    """A UV-style machine: 2 nodes per blade, blades on a NUMAlink backplane.
+
+    Intra-blade pairs ``(2b, 2b+1)`` share a fast socket link; the even node
+    of every blade hosts the blade's NUMAlink hub, and hubs are fully
+    connected through the backplane.  Routing between odd nodes of distinct
+    blades therefore takes an intra-blade hop, a NUMAlink hop, and another
+    intra-blade hop — the non-uniformity the affinity mapper exploits.
+    """
+    if blades <= 0:
+        raise ValueError("blades must be positive")
+    links: List[Link] = []
+    for blade in range(blades):
+        links.append(
+            Link(2 * blade, 2 * blade + 1, intra_blade_bandwidth, _INTRA_BLADE_LATENCY)
+        )
+    for blade_a in range(blades):
+        for blade_b in range(blade_a + 1, blades):
+            links.append(
+                Link(
+                    2 * blade_a,
+                    2 * blade_b,
+                    numalink_bandwidth,
+                    _NUMALINK_LATENCY,
+                )
+            )
+    return MachineSpec(name, node, 2 * blades, tuple(links))
+
+
+def sgi_uv2000() -> MachineSpec:
+    """The paper's machine: 14 nodes (7 blades) of Xeon E5-4627v2."""
+    return blade_machine(7, xeon_e5_4627v2(), name="SGI UV 2000")
+
+
+def cluster_of_smps(
+    machines: int,
+    blades_per_machine: int,
+    node: NodeSpec,
+    name: str = "cluster-of-smps",
+    inter_machine_bandwidth: float = 3.0e9,
+    inter_machine_latency: float = 1.5e-6,
+) -> MachineSpec:
+    """Several UV-style machines joined by a cluster interconnect.
+
+    The paper's future work ("we plan to study the usage of MPI for
+    extending the scalability of our approach for much larger system
+    configurations"): each machine is a blade_machine, and machine 0 of
+    each box (its even hub node 0') links to every other box over an
+    InfiniBand-class network — slower and higher-latency than NUMAlink.
+    Node ids are contiguous: machine ``m`` owns nodes
+    ``[m * 2 * blades_per_machine, (m + 1) * 2 * blades_per_machine)``.
+    """
+    if machines <= 0 or blades_per_machine <= 0:
+        raise ValueError("machines and blades_per_machine must be positive")
+    nodes_per_machine = 2 * blades_per_machine
+    links: List[Link] = []
+    for machine_index in range(machines):
+        base = machine_index * nodes_per_machine
+        single = blade_machine(blades_per_machine, node)
+        for link in single.links:
+            links.append(
+                Link(link.a + base, link.b + base, link.bandwidth, link.latency)
+            )
+    for machine_a in range(machines):
+        for machine_b in range(machine_a + 1, machines):
+            links.append(
+                Link(
+                    machine_a * nodes_per_machine,
+                    machine_b * nodes_per_machine,
+                    inter_machine_bandwidth,
+                    inter_machine_latency,
+                )
+            )
+    return MachineSpec(name, node, machines * nodes_per_machine, tuple(links))
+
+
+def uniform_smp(nodes: int, node: NodeSpec, bandwidth: float = INTRA_BLADE_BANDWIDTH) -> MachineSpec:
+    """A flat SMP: all nodes pairwise linked at equal bandwidth.
+
+    Useful for ablations — with a uniform, fast interconnect the trade-off
+    of Sect. 4.1 tips back toward scenario 1 (communicate).
+    """
+    if nodes == 1:
+        return MachineSpec("uniform-smp", node, 1, ())
+    links = tuple(
+        Link(a, b, bandwidth, _INTRA_BLADE_LATENCY)
+        for a in range(nodes)
+        for b in range(a + 1, nodes)
+    )
+    return MachineSpec("uniform-smp", node, nodes, links)

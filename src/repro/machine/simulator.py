@@ -1,0 +1,232 @@
+"""Phase-level performance simulator with interconnect contention.
+
+Strategies compile (in :mod:`repro.sched`) to an :class:`ExecutionPlan` — a
+sequence of barrier-separated :class:`Phase` objects carrying per-node busy
+times, explicit inter-node transfers, and orchestration overheads.  The
+simulator aggregates them:
+
+* a phase lasts as long as its busiest node or its most congested link
+  (compute and communication overlap within a phase),
+* transfers are routed over the machine's link graph; bytes sharing a link
+  add up, and the slowest link bounds the phase's communication time,
+* barriers are charged by the cost model's tree formula,
+* a phase repeats ``repeat`` times (time steps, blocks).
+
+This mirrors how the paper reasons about its machine: barrier-synchronized
+stage/step phases whose cost is the maximum of computation and
+communication demands on shared resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from .costmodel import CostModel
+from .topology import MachineSpec
+
+__all__ = ["Transfer", "Phase", "ExecutionPlan", "PhaseTiming", "SimResult", "simulate"]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """``bytes`` moved from node ``src`` to node ``dst`` within a phase."""
+
+    src: int
+    dst: int
+    bytes: float
+
+    def __post_init__(self) -> None:
+        if self.bytes < 0:
+            raise ValueError("transfer bytes must be non-negative")
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One barrier-separated step of an execution plan.
+
+    Attributes
+    ----------
+    name:
+        Label for reporting (e.g. ``"stage:pseudo_vel_i"``).
+    node_seconds:
+        Busy time per participating node, regime-costing already applied by
+        the scheduler that built the plan.
+    transfers:
+        Inter-node data movement overlapping the compute.
+    barrier_nodes:
+        How many nodes synchronize at the end of the phase (0/1 = none).
+    extra_seconds:
+        Serial orchestration overhead added after the barrier (scheduler
+        bookkeeping, block hand-offs, ...).
+    repeat:
+        The phase executes this many times back to back.
+    """
+
+    name: str
+    node_seconds: Mapping[int, float]
+    transfers: Tuple[Transfer, ...] = ()
+    barrier_nodes: int = 0
+    extra_seconds: float = 0.0
+    repeat: int = 1
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A named sequence of phases on a specific machine."""
+
+    name: str
+    machine: MachineSpec
+    costs: CostModel
+    phases: Tuple[Phase, ...]
+    nodes_used: int
+    total_flops: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.nodes_used <= self.machine.node_count:
+            raise ValueError(
+                f"plan uses {self.nodes_used} nodes, machine has "
+                f"{self.machine.node_count}"
+            )
+
+
+@dataclass(frozen=True)
+class PhaseTiming:
+    """Simulated timing of one (repeated) phase."""
+
+    name: str
+    compute_seconds: float
+    transfer_seconds: float
+    barrier_seconds: float
+    extra_seconds: float
+    repeat: int
+    node_seconds: Mapping[int, float] = None  # per-node busy time, once
+
+    @property
+    def once_seconds(self) -> float:
+        return (
+            max(self.compute_seconds, self.transfer_seconds)
+            + self.barrier_seconds
+            + self.extra_seconds
+        )
+
+    @property
+    def total_seconds(self) -> float:
+        return self.once_seconds * self.repeat
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of simulating one execution plan."""
+
+    plan_name: str
+    nodes_used: int
+    timings: Tuple[PhaseTiming, ...]
+    total_seconds: float
+    total_flops: float
+
+    def node_busy_seconds(self) -> Dict[int, float]:
+        """Total busy time per node across the whole run."""
+        busy: Dict[int, float] = {}
+        for timing in self.timings:
+            if not timing.node_seconds:
+                continue
+            for node, seconds in timing.node_seconds.items():
+                busy[node] = busy.get(node, 0.0) + seconds * timing.repeat
+        return busy
+
+    def node_utilization(self) -> Dict[int, float]:
+        """Busy fraction per node (busy time over the run's duration)."""
+        if self.total_seconds <= 0:
+            return {}
+        return {
+            node: seconds / self.total_seconds
+            for node, seconds in self.node_busy_seconds().items()
+        }
+
+    def load_imbalance(self) -> float:
+        """Max-to-mean ratio of per-node busy time (1.0 = balanced)."""
+        busy = self.node_busy_seconds()
+        if not busy:
+            return 1.0
+        mean = sum(busy.values()) / len(busy)
+        if mean == 0:
+            return 1.0
+        return max(busy.values()) / mean
+
+    @property
+    def gflops(self) -> float:
+        """Sustained performance in Gflop/s (Table 4's headline metric)."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.total_flops / self.total_seconds / 1e9
+
+    def breakdown(self) -> Dict[str, float]:
+        """Seconds attributed to compute / transfer / barrier / overhead."""
+        out = {"compute": 0.0, "transfer": 0.0, "barrier": 0.0, "overhead": 0.0}
+        for timing in self.timings:
+            dominant = max(timing.compute_seconds, timing.transfer_seconds)
+            if timing.compute_seconds >= timing.transfer_seconds:
+                out["compute"] += dominant * timing.repeat
+            else:
+                out["transfer"] += dominant * timing.repeat
+            out["barrier"] += timing.barrier_seconds * timing.repeat
+            out["overhead"] += timing.extra_seconds * timing.repeat
+        return out
+
+
+def transfer_seconds(machine: MachineSpec, transfers: Sequence[Transfer]) -> float:
+    """Concurrent-transfer time: route each transfer, sum bytes per link,
+    and let the most loaded link bound the phase."""
+    if not transfers:
+        return 0.0
+    link_bytes: Dict[Tuple[int, int, int], float] = {}
+    link_bandwidth: Dict[Tuple[int, int, int], float] = {}
+    latency = 0.0
+    for transfer in transfers:
+        if transfer.src == transfer.dst or transfer.bytes == 0:
+            continue
+        route = machine.route(transfer.src, transfer.dst)
+        latency = max(latency, sum(link.latency for link in route))
+        # Direction matters: NUMAlink bandwidth is per direction.
+        here = transfer.src
+        for link in route:
+            nxt = link.other(here)
+            key = (link.a, link.b, 0 if here < nxt else 1)
+            link_bytes[key] = link_bytes.get(key, 0.0) + transfer.bytes
+            link_bandwidth[key] = link.bandwidth
+            here = nxt
+    if not link_bytes:
+        return 0.0
+    worst = max(
+        link_bytes[key] / link_bandwidth[key] for key in link_bytes
+    )
+    return worst + latency
+
+
+def simulate(plan: ExecutionPlan) -> SimResult:
+    """Evaluate an execution plan into per-phase and total times."""
+    timings: List[PhaseTiming] = []
+    total = 0.0
+    for phase in plan.phases:
+        compute = max(phase.node_seconds.values(), default=0.0)
+        comms = transfer_seconds(plan.machine, phase.transfers)
+        barrier = plan.costs.barrier_seconds(phase.barrier_nodes)
+        timing = PhaseTiming(
+            name=phase.name,
+            compute_seconds=compute,
+            transfer_seconds=comms,
+            barrier_seconds=barrier,
+            extra_seconds=phase.extra_seconds,
+            repeat=phase.repeat,
+            node_seconds=dict(phase.node_seconds),
+        )
+        timings.append(timing)
+        total += timing.total_seconds
+    return SimResult(
+        plan_name=plan.name,
+        nodes_used=plan.nodes_used,
+        timings=tuple(timings),
+        total_seconds=total,
+        total_flops=plan.total_flops,
+    )

@@ -1,0 +1,150 @@
+"""SMP/NUMA machine description.
+
+Models the class of machine the paper targets: *P* NUMA nodes, each an
+8-core Xeon with local DRAM and L3, joined by a heterogeneous interconnect
+(fast intra-blade links, slower NUMAlink between blades).  The description
+is purely structural; timing constants live in
+:mod:`repro.machine.costmodel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["NodeSpec", "Link", "MachineSpec"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One NUMA node: a processor socket with local memory.
+
+    ``flops_per_cycle`` is per core, double precision, using the paper's
+    accounting (105.6 Gflop/s per 8-core 3.3 GHz Xeon E5-4627v2 implies 4
+    DP flops per cycle per core).
+    """
+
+    cores: int
+    clock_hz: float
+    flops_per_cycle: int
+    l3_bytes: int
+    dram_bandwidth: float  # effective stream bytes/s, local access
+    dram_bytes: int
+
+    @property
+    def peak_flops(self) -> float:
+        """Theoretical peak, as in the paper's Table 4 denominator."""
+        return self.cores * self.clock_hz * self.flops_per_cycle
+
+
+@dataclass(frozen=True)
+class Link:
+    """A bidirectional interconnect link between two nodes."""
+
+    a: int
+    b: int
+    bandwidth: float  # bytes/s per direction
+    latency: float  # seconds
+
+    def other(self, node: int) -> int:
+        if node == self.a:
+            return self.b
+        if node == self.b:
+            return self.a
+        raise ValueError(f"node {node} not on link ({self.a}, {self.b})")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A whole SMP/NUMA machine: identical nodes plus a link graph."""
+
+    name: str
+    node: NodeSpec
+    node_count: int
+    links: Tuple[Link, ...]
+
+    def __post_init__(self) -> None:
+        if self.node_count <= 0:
+            raise ValueError("node_count must be positive")
+        for link in self.links:
+            for end in (link.a, link.b):
+                if not 0 <= end < self.node_count:
+                    raise ValueError(f"link endpoint {end} out of range")
+        if self.node_count > 1 and not self._connected():
+            raise ValueError("interconnect graph is not connected")
+
+    # ------------------------------------------------------------------
+    @property
+    def total_cores(self) -> int:
+        return self.node_count * self.node.cores
+
+    def peak_flops(self, nodes: int) -> float:
+        """Theoretical peak of ``nodes`` processors (Table 4's
+        "theoretical performance" row)."""
+        if not 1 <= nodes <= self.node_count:
+            raise ValueError(f"nodes must be in 1..{self.node_count}")
+        return nodes * self.node.peak_flops
+
+    # ------------------------------------------------------------------
+    def adjacency(self) -> Dict[int, List[Link]]:
+        """Links incident to each node."""
+        table: Dict[int, List[Link]] = {n: [] for n in range(self.node_count)}
+        for link in self.links:
+            table[link.a].append(link)
+            table[link.b].append(link)
+        return table
+
+    def _connected(self) -> bool:
+        adjacency = self.adjacency()
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            for link in adjacency[node]:
+                nxt = link.other(node)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return len(seen) == self.node_count
+
+    def shortest_paths(self, source: int) -> Dict[int, Tuple[float, List[Link]]]:
+        """Dijkstra by latency: ``{node: (latency, links on path)}``."""
+        import heapq
+
+        adjacency = self.adjacency()
+        best: Dict[int, Tuple[float, List[Link]]] = {source: (0.0, [])}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        done = set()
+        while heap:
+            dist, node = heapq.heappop(heap)
+            if node in done:
+                continue
+            done.add(node)
+            for link in adjacency[node]:
+                nxt = link.other(node)
+                cand = dist + link.latency
+                if nxt not in best or cand < best[nxt][0]:
+                    best[nxt] = (cand, best[node][1] + [link])
+                    heapq.heappush(heap, (cand, nxt))
+        return best
+
+    def route(self, a: int, b: int) -> List[Link]:
+        """Links on the minimum-latency path from node ``a`` to ``b``."""
+        if a == b:
+            return []
+        return self.shortest_paths(a)[b][1]
+
+    def path_bandwidth(self, a: int, b: int) -> float:
+        """Bottleneck bandwidth along the route between two nodes."""
+        route = self.route(a, b)
+        if not route:
+            return float("inf")
+        return min(link.bandwidth for link in route)
+
+    def distance_matrix(self) -> List[List[float]]:
+        """Pairwise path latencies, for affinity placement."""
+        matrix = []
+        for a in range(self.node_count):
+            paths = self.shortest_paths(a)
+            matrix.append([paths[b][0] for b in range(self.node_count)])
+        return matrix

@@ -1,0 +1,74 @@
+"""MPDATA: the paper's heterogeneous stencil application.
+
+The Multidimensional Positive Definite Advection Transport Algorithm,
+expressed as a 17-stage stencil program (:mod:`repro.mpdata.stages`), with a
+ghost-cell solver driver (:mod:`repro.mpdata.solver`), an independent NumPy
+reference (:mod:`repro.mpdata.reference`), boundary handling
+(:mod:`repro.mpdata.boundary`) and workload generators
+(:mod:`repro.mpdata.fields`).
+"""
+
+from .boundary import BOUNDARY_MODES, extend_array, extended_box, fill_ghosts
+from .cfl import CflReport, check_cfl, safe_courant_scale
+from .checkpoint import Checkpoint, load_checkpoint, save_checkpoint
+from .extensions import advection_decay_program, advection_diffusion_program
+from .sponge import advection_sponge_program, sponge_coefficient
+from .fields import (
+    cone,
+    gaussian_blob,
+    max_courant,
+    random_state,
+    rotation_state,
+    rotation_velocity,
+    translation_state,
+    uniform_velocity,
+)
+from .reference import MpdataState, reference_run, reference_step, reference_upwind_step
+from .solver import GhostSpec, MpdataSolver
+from .stages import (
+    EPSILON,
+    FIELD_DENSITY,
+    FIELD_OUTPUT,
+    FIELD_VELOCITIES,
+    FIELD_X,
+    mpdata_program,
+    upwind_program,
+)
+
+__all__ = [
+    "BOUNDARY_MODES",
+    "CflReport",
+    "Checkpoint",
+    "EPSILON",
+    "FIELD_DENSITY",
+    "FIELD_OUTPUT",
+    "FIELD_VELOCITIES",
+    "FIELD_X",
+    "GhostSpec",
+    "MpdataSolver",
+    "MpdataState",
+    "advection_decay_program",
+    "advection_diffusion_program",
+    "advection_sponge_program",
+    "check_cfl",
+    "cone",
+    "extend_array",
+    "extended_box",
+    "fill_ghosts",
+    "gaussian_blob",
+    "load_checkpoint",
+    "max_courant",
+    "mpdata_program",
+    "random_state",
+    "reference_run",
+    "reference_step",
+    "reference_upwind_step",
+    "rotation_state",
+    "safe_courant_scale",
+    "rotation_velocity",
+    "save_checkpoint",
+    "sponge_coefficient",
+    "translation_state",
+    "uniform_velocity",
+    "upwind_program",
+]

@@ -1,0 +1,114 @@
+"""Ghost-cell boundary handling for grid arrays.
+
+The interpreter executes stencil programs over arrays anchored in global
+index space; physical boundaries are realised by *extending* each input
+array with ghost layers and filling them according to a boundary condition
+before each time step.  Supported conditions:
+
+* ``"periodic"`` — wrap-around (the condition used by all experiments; it
+  makes conservation checks exact), and
+* ``"open"`` — zero-gradient outflow (edge replication).
+
+Ghost filling proceeds axis by axis; later axes copy from already-extended
+earlier axes, which populates edge and corner ghosts consistently for both
+conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..stencil import ArrayRegion, Box
+
+__all__ = ["BOUNDARY_MODES", "extend_array", "fill_ghosts", "extended_box"]
+
+BOUNDARY_MODES = ("periodic", "open")
+
+GhostWidths = Tuple[int, int, int]
+
+
+def extended_box(shape: Tuple[int, int, int], lo: GhostWidths, hi: GhostWidths) -> Box:
+    """The global-index box of an array extended by ghost layers."""
+    return Box(
+        tuple(-g for g in lo),  # type: ignore[arg-type]
+        tuple(s + g for s, g in zip(shape, hi)),  # type: ignore[arg-type]
+    )
+
+
+def extend_array(
+    interior: np.ndarray,
+    lo: GhostWidths,
+    hi: GhostWidths,
+    mode: str = "periodic",
+) -> ArrayRegion:
+    """Copy ``interior`` into a ghost-extended array and fill the ghosts.
+
+    The returned :class:`ArrayRegion` is anchored so that the interior's
+    element ``[0,0,0]`` sits at global grid point ``(0,0,0)``.
+    """
+    if mode not in BOUNDARY_MODES:
+        raise ValueError(f"unknown boundary mode {mode!r}")
+    interior = np.asarray(interior)
+    shape = tuple(
+        s + l + h for s, l, h in zip(interior.shape, lo, hi)
+    )
+    data = np.empty(shape, dtype=interior.dtype)
+    core = tuple(
+        slice(l, l + s) for l, s in zip(lo, interior.shape)
+    )
+    data[core] = interior
+    fill_ghosts(data, lo, hi, mode)
+    return ArrayRegion(data, extended_box(interior.shape, lo, hi))  # type: ignore[arg-type]
+
+
+def fill_ghosts(
+    data: np.ndarray,
+    lo: GhostWidths,
+    hi: GhostWidths,
+    mode: str = "periodic",
+) -> None:
+    """Fill ghost layers of an already-extended array in place.
+
+    ``data`` has interior shape ``data.shape - lo - hi``; the interior must
+    be populated before calling.
+    """
+    if mode not in BOUNDARY_MODES:
+        raise ValueError(f"unknown boundary mode {mode!r}")
+    for axis in range(3):
+        gl, gh = lo[axis], hi[axis]
+        interior = data.shape[axis] - gl - gh
+        if interior <= 0:
+            raise ValueError(
+                f"axis {axis}: ghosts ({gl}, {gh}) leave no interior in "
+                f"extent {data.shape[axis]}"
+            )
+        if mode == "periodic" and (gl > interior or gh > interior):
+            raise ValueError(
+                f"axis {axis}: periodic ghosts ({gl}, {gh}) exceed interior "
+                f"extent {interior}"
+            )
+        if gl:
+            src = _axis_slice(data, axis, interior, interior + gl)
+            dst = _axis_slice(data, axis, 0, gl)
+            if mode == "periodic":
+                dst[...] = src
+            else:
+                edge = _axis_slice(data, axis, gl, gl + 1)
+                dst[...] = edge
+        if gh:
+            if mode == "periodic":
+                src = _axis_slice(data, axis, gl, gl + gh)
+                dst = _axis_slice(data, axis, gl + interior, gl + interior + gh)
+                dst[...] = src
+            else:
+                edge = _axis_slice(data, axis, gl + interior - 1, gl + interior)
+                dst = _axis_slice(data, axis, gl + interior, gl + interior + gh)
+                dst[...] = edge
+
+
+def _axis_slice(data: np.ndarray, axis: int, start: int, stop: int) -> np.ndarray:
+    index = [slice(None)] * 3
+    index[axis] = slice(start, stop)
+    return data[tuple(index)]

@@ -1,0 +1,88 @@
+"""Absorbing (sponge) layers: MPDATA with Rayleigh damping.
+
+Atmospheric models surround the domain of interest with a *sponge* — a
+zone where the solution is relaxed toward a reference state so that waves
+leaving the region do not reflect off the grid boundary (EULAG does this
+near its model top).  In stencil-program form the absorber is one more
+pointwise stage after advection:
+
+    x_out = x_adv - tau * (x_adv - x_ref)
+
+with ``tau`` a spatially varying coefficient field (zero in the interior,
+ramping up inside the sponge) and ``x_ref`` the reference state, both
+ordinary program inputs.  Being pointwise, the stage adds no halo — the
+islands accounting is untouched — but it adds two input arrays to the
+compulsory traffic, which the IR-derived accounting picks up on its own.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+from ..stencil import Access, Field, FieldRole, Stage, StencilProgram
+from .extensions import _rebase_output
+from .stages import FIELD_OUTPUT, mpdata_program
+
+__all__ = ["advection_sponge_program", "sponge_coefficient"]
+
+
+@lru_cache(maxsize=None)
+def advection_sponge_program(
+    iord: int = 2, nonosc: bool = True
+) -> StencilProgram:
+    """MPDATA advection followed by Rayleigh relaxation toward ``x_ref``.
+
+    Extra inputs: ``tau`` (the damping coefficient, in [0, 1]) and
+    ``x_ref`` (the state relaxed toward).  Where ``tau = 0`` the step is
+    exactly the plain MPDATA step; where ``tau = 1`` the cell is pinned to
+    the reference.
+    """
+    base = mpdata_program(iord=iord, nonosc=nonosc)
+    stages = _rebase_output(base) + (
+        Stage(
+            "sponge",
+            FIELD_OUTPUT,
+            Access("x_adv")
+            - Access("tau") * (Access("x_adv") - Access("x_ref")),
+        ),
+    )
+    inputs = base.input_fields + (
+        Field("tau", FieldRole.INPUT, time_varying=False),
+        Field("x_ref", FieldRole.INPUT, time_varying=False),
+    )
+    return StencilProgram.build(
+        f"{base.name}_sponge", inputs, stages, outputs=(FIELD_OUTPUT,)
+    )
+
+
+def sponge_coefficient(
+    shape: Tuple[int, int, int],
+    width: int,
+    strength: float = 0.5,
+    axis: int = 0,
+) -> np.ndarray:
+    """A standard cosine-ramp absorber at both ends of one axis.
+
+    ``tau`` rises smoothly from 0 at the inner edge of each sponge zone to
+    ``strength`` at the boundary; the interior is exactly zero.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if not 0.0 <= strength <= 1.0:
+        raise ValueError("strength must be in [0, 1]")
+    extent = shape[axis]
+    if 2 * width > extent:
+        raise ValueError("sponge zones overlap: 2*width exceeds the axis")
+
+    profile = np.zeros(extent)
+    ramp = 0.5 * (1.0 - np.cos(np.pi * (np.arange(width) + 1) / width))
+    profile[:width] = strength * ramp[::-1]
+    profile[extent - width:] = strength * ramp
+
+    tau = np.zeros(shape)
+    shaper = [1, 1, 1]
+    shaper[axis] = extent
+    return tau + profile.reshape(shaper)

@@ -1,0 +1,110 @@
+"""The paper's published numbers, transcribed for comparison.
+
+Every table of Szustak, Wyrzykowski & Jakl, "Islands-of-Cores Approach for
+Harnessing SMP/NUMA Architectures in Heterogeneous Stencil Computations"
+(PaCT 2017).  These values are used in exactly two ways: a handful of
+anchors calibrate the cost model (see ``repro.analysis.calibration``), and
+all of them serve as the reference column in the experiment reports.  They
+are never fed back into the simulator's predictions.
+
+All times are seconds for 50 MPDATA time steps on the 1024 x 512 x 64 grid;
+``P`` indexes processors 1..14 (list position ``P - 1``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = [
+    "GRID_SHAPE",
+    "TIME_STEPS",
+    "TABLE1_ORIGINAL_SERIAL_INIT",
+    "TABLE1_ORIGINAL_FIRST_TOUCH",
+    "TABLE1_FUSED",
+    "TABLE2_VARIANT_A",
+    "TABLE2_VARIANT_B",
+    "TABLE3_ISLANDS",
+    "TABLE3_SPEEDUP_PARTIAL",
+    "TABLE3_SPEEDUP_OVERALL",
+    "TABLE4_PROCESSORS",
+    "TABLE4_THEORETICAL_GFLOPS",
+    "TABLE4_SUSTAINED_GFLOPS",
+    "TABLE4_UTILIZATION_PERCENT",
+    "TABLE4_EFFICIENCY_PERCENT",
+    "SECT32_TRAFFIC",
+]
+
+#: Benchmark configuration used throughout the evaluation (Sect. 5).
+GRID_SHAPE: Tuple[int, int, int] = (1024, 512, 64)
+TIME_STEPS: int = 50
+
+# --- Table 1: execution times [s], original and pure (3+1)D -------------
+TABLE1_ORIGINAL_SERIAL_INIT = (
+    30.4, 44.5, 58.2, 61.5, 64.3, 70.1, 71.6, 73.7, 75.4, 77.6, 78.4, 78.2,
+    80.6, 82.2,
+)
+TABLE1_ORIGINAL_FIRST_TOUCH = (
+    30.4, 15.4, 10.5, 7.9, 6.6, 5.6, 5.0, 4.3, 4.0, 3.6, 3.3, 3.1, 3.0, 2.8,
+)
+TABLE1_FUSED = (
+    9.0, 8.2, 7.4, 8.0, 7.1, 7.2, 7.3, 7.7, 9.1, 9.5, 10.2, 10.1, 10.3, 10.4,
+)
+
+# --- Table 2: extra elements [%] ----------------------------------------
+TABLE2_VARIANT_A = (
+    0.00, 0.25, 0.49, 0.74, 0.99, 1.24, 1.48, 1.73, 1.98, 2.22, 2.47, 2.72,
+    2.96, 3.21,
+)
+TABLE2_VARIANT_B = (
+    0.00, 0.49, 0.99, 1.48, 1.98, 2.47, 2.96, 3.46, 3.95, 4.45, 4.94, 5.43,
+    5.93, 6.42,
+)
+
+# --- Table 3: times [s] and speedups (higher-precision repeats of Table 1
+#     plus the islands row) ----------------------------------------------
+TABLE3_ORIGINAL = (
+    30.40, 15.40, 10.50, 7.87, 6.55, 5.61, 4.95, 4.27, 4.01, 3.58, 3.31,
+    3.14, 2.95, 2.81,
+)
+TABLE3_FUSED = (
+    9.00, 8.20, 7.38, 7.98, 7.06, 7.22, 7.26, 7.69, 9.11, 9.48, 10.20,
+    10.10, 10.30, 10.40,
+)
+TABLE3_ISLANDS = (
+    9.00, 5.62, 4.17, 2.93, 2.34, 1.97, 1.72, 1.49, 1.36, 1.25, 1.12, 1.06,
+    1.05, 1.01,
+)
+TABLE3_SPEEDUP_PARTIAL = (
+    1.00, 1.46, 1.77, 2.72, 3.02, 3.66, 4.22, 5.16, 6.70, 7.58, 9.11, 9.53,
+    9.81, 10.30,
+)
+TABLE3_SPEEDUP_OVERALL = (
+    3.38, 2.74, 2.52, 2.69, 2.80, 2.85, 2.88, 2.87, 2.95, 2.86, 2.96, 2.96,
+    2.81, 2.78,
+)
+
+# --- Table 4: sustained performance (no P = 13 column in the paper) ------
+TABLE4_PROCESSORS = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 14)
+TABLE4_THEORETICAL_GFLOPS = (
+    105.6, 211.2, 316.8, 422.4, 528.0, 633.6, 739.2, 844.8, 950.4, 1056.0,
+    1161.6, 1267.2, 1478.4,
+)
+TABLE4_SUSTAINED_GFLOPS = (
+    42.7, 68.5, 92.5, 131.9, 165.5, 197.0, 226.1, 261.4, 287.0, 325.9,
+    349.8, 370.3, 390.1,
+)
+TABLE4_UTILIZATION_PERCENT = (
+    40.4, 32.4, 29.2, 31.2, 31.3, 31.1, 30.5, 30.9, 30.2, 30.8, 30.1, 29.2,
+    26.3,
+)
+TABLE4_EFFICIENCY_PERCENT = (
+    100.0, 98.7, 96.5, 96.6, 92.8, 90.3, 87.7, 89.0, 84.2, 84.9, 83.5, 80.7,
+    77.3,
+)
+
+# --- Sect. 3.2: likwid-measured traffic on one Xeon E5-2660v2 ------------
+#: 50 steps of a 256 x 256 x 64 domain: {strategy: (gigabytes, speedup)}.
+SECT32_TRAFFIC: Dict[str, Tuple[float, float]] = {
+    "original": (133.0, 1.0),
+    "(3+1)D": (30.0, 2.8),
+}

@@ -1,0 +1,21 @@
+"""Functional runtime: partitioned execution and bit-exact verification.
+
+The machine simulator (:mod:`repro.machine`) answers *how long* a strategy
+takes; this package answers *what it computes* — and proves partitioned
+strategies compute exactly the same thing as the whole-domain reference.
+"""
+
+from .diagnostics import RunHistory, RunRecorder, StepDiagnostics
+from .island_exec import MpdataIslandSolver, PartitionedRunner
+from .verify import VerificationResult, verify_islands, verify_variants
+
+__all__ = [
+    "MpdataIslandSolver",
+    "RunHistory",
+    "RunRecorder",
+    "StepDiagnostics",
+    "PartitionedRunner",
+    "VerificationResult",
+    "verify_islands",
+    "verify_variants",
+]

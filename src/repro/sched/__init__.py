@@ -1,0 +1,25 @@
+"""Strategy-to-plan compilers.
+
+Each module turns one of the paper's three MPDATA execution strategies into
+an :class:`~repro.machine.simulator.ExecutionPlan`:
+
+* :mod:`repro.sched.original` — 17 bandwidth-bound stage sweeps per step,
+  with either first-touch or serial (node-0) memory placement;
+* :mod:`repro.sched.fused` — the pure (3+1)D decomposition, all nodes
+  co-operating on every cache block;
+* :mod:`repro.sched.islands` — the islands-of-cores approach.
+"""
+
+from .exchange import build_exchange_plan
+from .fused import build_fused_plan
+from .hierarchical import build_two_level_plan
+from .islands import build_islands_plan
+from .original import build_original_plan
+
+__all__ = [
+    "build_exchange_plan",
+    "build_fused_plan",
+    "build_islands_plan",
+    "build_original_plan",
+    "build_two_level_plan",
+]

@@ -1,0 +1,141 @@
+"""Scenario-1 islands: communicate the halo instead of recomputing it.
+
+The paper's Fig. 1 contrasts two ways to run a partitioned heterogeneous
+stencil chain; the islands-of-cores approach is scenario 2 (recompute).
+This module builds the *other* plan — scenario 1 at processor granularity,
+which is exactly what a conventional MPI stencil code does:
+
+* each island computes only its own slab of every stage,
+* after each stage, the boundary values its neighbours will read cross the
+  interconnect (an explicit halo exchange),
+* every stage ends in a machine-wide synchronization.
+
+The per-stage exchange volume is derived from the same backward halo
+analysis that prices scenario 2: the values island *q* would have
+recomputed from stage *s* are precisely the values scenario 1 must ship —
+the paper's computation/communication identity, realized in both plans.
+
+Comparing :func:`build_exchange_plan` against
+:func:`~repro.sched.islands.build_islands_plan` over link bandwidth turns
+the Sect. 4.1 thought experiment into a full-application simulation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import Variant, partition_domain
+from ..core.affinity import chain_placement
+from ..machine import CostModel, ExecutionPlan, MachineSpec, Phase, Transfer
+from ..stencil import (
+    StencilProgram,
+    full_box,
+    program_arith_flops_per_point,
+    required_regions,
+)
+
+__all__ = ["build_exchange_plan"]
+
+
+def build_exchange_plan(
+    program: StencilProgram,
+    shape: Tuple[int, int, int],
+    steps: int,
+    islands: int,
+    machine: MachineSpec,
+    costs: CostModel,
+    variant: Variant = Variant.A,
+    placement: Optional[Sequence[int]] = None,
+) -> ExecutionPlan:
+    """Compile a halo-exchange (scenario 1) islands run to phases.
+
+    One phase per stage per step: every island computes its slab of the
+    stage at the work-team rate, then ships each neighbour the slice of the
+    fresh output that the neighbour's *remaining* stages transitively read
+    — computed exactly, per stage, from the halo plans.
+    """
+    if not 1 <= islands <= machine.node_count:
+        raise ValueError(f"islands must be in 1..{machine.node_count}")
+    if steps <= 0:
+        raise ValueError("steps must be positive")
+
+    domain = full_box(shape)
+    partition = partition_domain(domain, islands, variant)
+    if placement is None:
+        placement = chain_placement(machine.distance_matrix(), islands)
+    elif len(placement) != islands:
+        raise ValueError("placement must assign one node per island")
+
+    itemsize = max(f.itemsize for f in program.fields)
+    team = islands > 1
+    points = domain.size
+    stage_count = len(program.stages)
+
+    # For each stage, how many points of its output each island must
+    # receive from each other island: the stage's halo-plan compute box
+    # (clipped to the domain) minus the island's own slab, intersected with
+    # the owners' slabs.  In scenario 2 these points are recomputed; in
+    # scenario 1 they are transferred after the stage completes.
+    incoming: List[Dict[Tuple[int, int], int]] = [
+        defaultdict(int) for _ in range(stage_count)
+    ]
+    for island_index, part in enumerate(partition.parts):
+        plan = required_regions(program, part, domain=domain)
+        for stage_index, box in enumerate(plan.stage_boxes):
+            if box.is_empty():
+                continue
+            for owner_index, owner_part in enumerate(partition.parts):
+                if owner_index == island_index:
+                    continue
+                overlap = box.intersect(owner_part).size
+                if overlap > 0:
+                    incoming[stage_index][(owner_index, island_index)] += overlap
+
+    phases = []
+    for stage_index, stage in enumerate(program.stages):
+        stage_flops = float(stage.arith_flops_per_point) * points
+        per_node = costs.cached_seconds(stage_flops / islands, team=team)
+        node_seconds = {
+            placement[island_index]: per_node
+            for island_index in range(islands)
+        }
+        transfers = tuple(
+            Transfer(
+                src=placement[owner],
+                dst=placement[reader],
+                bytes=float(count * itemsize),
+            )
+            for (owner, reader), count in sorted(incoming[stage_index].items())
+        )
+        phases.append(
+            Phase(
+                name=f"stage:{stage.name}",
+                node_seconds=node_seconds,
+                transfers=transfers,
+                barrier_nodes=islands,
+                repeat=steps,
+            )
+        )
+
+    # The per-step orchestration (shared input, output return) is common to
+    # both island flavours.
+    if islands > 1:
+        phases.append(
+            Phase(
+                name="step-orchestration",
+                node_seconds={placement[0]: 0.0},
+                extra_seconds=costs.island_step_seconds(islands),
+                repeat=steps,
+            )
+        )
+
+    total_flops = float(program_arith_flops_per_point(program)) * points * steps
+    return ExecutionPlan(
+        name="islands-exchange",
+        machine=machine,
+        costs=costs,
+        phases=tuple(phases),
+        nodes_used=islands,
+        total_flops=total_flops,
+    )

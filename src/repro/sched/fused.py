@@ -1,0 +1,108 @@
+"""Execution plan for the pure (3+1)D decomposition on P nodes.
+
+The whole domain is cut into cache-sized blocks; blocks run one after
+another, and *every* block is swept by *all* cores of *all* participating
+processors (Sect. 3.2).  On one processor this is the regime the
+decomposition was designed for — intermediates stay in the local cache
+hierarchy and compute dominates.  Across processors, each stage of each
+block ends with a machine-wide hand-off: boundary cache lines migrate over
+NUMAlink and every node synchronizes before the next stage.  Those
+per-block-per-stage costs are what make the pure decomposition *lose* to
+the original version at P >= 4 (Table 1), and they scale with both the
+block count and the node count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..analysis.traffic import fused_traffic
+from ..machine import CostModel, ExecutionPlan, MachineSpec, Phase
+from ..stencil import BlockPlan, StencilProgram, full_box, plan_blocks
+
+__all__ = ["build_fused_plan"]
+
+
+def build_fused_plan(
+    program: StencilProgram,
+    shape: Tuple[int, int, int],
+    steps: int,
+    nodes: int,
+    machine: MachineSpec,
+    costs: CostModel,
+    cache_bytes: Optional[int] = None,
+    blocks: Optional[BlockPlan] = None,
+) -> ExecutionPlan:
+    """Compile the pure (3+1)D decomposition to phases.
+
+    One phase per stage per step; each phase's compute is the stage's flops
+    split across all nodes (roofline-combined with the stage's share of the
+    compulsory streaming traffic), and its overhead aggregates the
+    per-block hand-off costs of that stage across all blocks.  An explicit
+    ``blocks`` plan (e.g. from the autotuner) overrides the cache-budget
+    heuristic.
+    """
+    if not 1 <= nodes <= machine.node_count:
+        raise ValueError(f"nodes must be in 1..{machine.node_count}")
+    if steps <= 0:
+        raise ValueError("steps must be positive")
+
+    domain = full_box(shape)
+    if blocks is None:
+        budget = (
+            cache_bytes if cache_bytes is not None else machine.node.l3_bytes
+        )
+        blocks = plan_blocks(program, domain, budget)
+    elif blocks.domain != domain:
+        raise ValueError("block plan does not cover the given domain")
+    traffic = fused_traffic(program, blocks, steps=1)
+    link_bw = _slowest_used_link(machine, nodes)
+
+    # Compulsory streaming is spread over the step in proportion to each
+    # stage's compute share: inside a block all stages run back to back on
+    # cached data while input/output streams trickle alongside, so the
+    # roofline applies to the step, not to individual stages.
+    step_flops = sum(
+        float(s.arith_flops_per_point) for s in program.stages
+    ) * domain.size
+    phases = []
+    for stage in program.stages:
+        stage_flops = float(stage.arith_flops_per_point) * domain.size
+        compute = costs.cached_seconds(stage_flops / nodes)
+        io_share = traffic.total_bytes * (stage_flops / step_flops)
+        io = costs.stream_seconds(io_share / nodes)
+        per_node = max(compute, io)
+        overhead = blocks.count * costs.block_stage_overhead(nodes, link_bw)
+        phases.append(
+            Phase(
+                name=f"stage:{stage.name}",
+                node_seconds={n: per_node for n in range(nodes)},
+                barrier_nodes=nodes,
+                extra_seconds=overhead,
+                repeat=steps,
+            )
+        )
+
+    total_flops = sum(
+        float(stage.arith_flops_per_point) * domain.size * steps
+        for stage in program.stages
+    )
+    return ExecutionPlan(
+        name="(3+1)D",
+        machine=machine,
+        costs=costs,
+        phases=tuple(phases),
+        nodes_used=nodes,
+        total_flops=total_flops,
+    )
+
+
+def _slowest_used_link(machine: MachineSpec, nodes: int) -> float:
+    """Bottleneck bandwidth among links between the first ``nodes`` nodes."""
+    if nodes <= 1:
+        return float("inf")
+    slowest = float("inf")
+    for a in range(nodes):
+        for b in range(a + 1, nodes):
+            slowest = min(slowest, machine.path_bandwidth(a, b))
+    return slowest

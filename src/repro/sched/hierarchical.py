@@ -1,0 +1,121 @@
+"""Two-level islands: an execution plan for the paper's future work #1.
+
+Sect. 6 proposes applying the islands-of-cores idea *within* each CPU.  In
+plan form: the domain splits into processor islands as usual, but inside an
+island each **core** owns a sub-slab and recomputes its own transitive halo
+— no intra-island work-team scheduling, no per-block hand-offs between
+cores, just eight independent sweeps meeting at the end-of-step barrier.
+
+The model trade-off (both sides calibrated):
+
+* gain — per-core execution avoids the work-team management that makes the
+  islands regime ~19 % slower per flop than the pure (3+1)D regime
+  (``team_flops`` vs ``fused_flops``); each core is modelled at
+  ``fused_flops / cores``, an optimistic bound that assumes per-core cache
+  blocking is as effective as shared-cache blocking;
+* cost — core-level redundancy on top of processor-level redundancy, which
+  the exact two-level accounting (:mod:`repro.core.hierarchy`) supplies;
+  the busiest core, not the average, sets the pace.
+
+Whether the trade wins depends on the inner grid: 1D core slabs along *i*
+are thin and redundancy-heavy, *j*-axis or 2D core grids keep it cheap —
+run :func:`repro.experiments.future_work.run_two_level_study` for the
+numbers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..core import Variant, partition_domain, partition_grid_2d
+from ..core.affinity import chain_placement
+from ..machine import CostModel, ExecutionPlan, MachineSpec, Phase
+from ..stencil import Box, StencilProgram, full_box, plan_flops, required_regions
+
+__all__ = ["build_two_level_plan"]
+
+
+def _core_parts(part: Box, inner: Tuple[int, int]) -> List[Box]:
+    if inner == (1, 1):
+        return [part]
+    if inner[1] == 1:
+        return list(partition_domain(part, inner[0], Variant.A).parts)
+    if inner[0] == 1:
+        return list(partition_domain(part, inner[1], Variant.B).parts)
+    return list(partition_grid_2d(part, inner[0], inner[1]).parts)
+
+
+def build_two_level_plan(
+    program: StencilProgram,
+    shape: Tuple[int, int, int],
+    steps: int,
+    islands: int,
+    inner: Tuple[int, int],
+    machine: MachineSpec,
+    costs: CostModel,
+    variant: Variant = Variant.A,
+    placement: Optional[Sequence[int]] = None,
+) -> ExecutionPlan:
+    """Compile a nested islands run (processor islands x core islands).
+
+    ``inner`` is the per-island core grid ``(parts_i, parts_j)``; its
+    product must not exceed the node's core count.
+    """
+    if not 1 <= islands <= machine.node_count:
+        raise ValueError(f"islands must be in 1..{machine.node_count}")
+    if steps <= 0:
+        raise ValueError("steps must be positive")
+    cores = machine.node.cores
+    inner_count = inner[0] * inner[1]
+    if not 1 <= inner_count <= cores:
+        raise ValueError(
+            f"inner grid {inner} needs {inner_count} cores, node has {cores}"
+        )
+
+    domain = full_box(shape)
+    outer_partition = partition_domain(domain, islands, variant)
+    if placement is None:
+        placement = chain_placement(machine.distance_matrix(), islands)
+    elif len(placement) != islands:
+        raise ValueError("placement must assign one node per island")
+
+    core_rate = costs.fused_flops / cores
+    total_flops = 0.0
+    node_seconds = {}
+    for island_index, part in enumerate(outer_partition.parts):
+        node = placement[island_index]
+        worst_core = 0.0
+        for core_part in _core_parts(part, inner):
+            plan = required_regions(program, core_part, domain=domain)
+            flops = float(plan_flops(program, plan, arithmetic=True))
+            total_flops += flops
+            # Each core island occupies inner_count of the node's cores;
+            # unused cores (when inner_count < cores) share the remaining
+            # work evenly — model each core slab at one core's rate scaled
+            # by how many cores serve it.
+            cores_per_slab = cores / inner_count
+            worst_core = max(worst_core, flops / (core_rate * cores_per_slab))
+
+        io_bytes = sum(
+            part.size * field.itemsize
+            for field in program.fields
+            if field.is_input or field.is_output
+        )
+        io = costs.stream_seconds(io_bytes)
+        node_seconds[node] = max(worst_core, io)
+
+    step_phase = Phase(
+        name="two-level-islands-step",
+        node_seconds=node_seconds,
+        barrier_nodes=islands,
+        extra_seconds=costs.island_step_seconds(islands),
+        repeat=steps,
+    )
+    return ExecutionPlan(
+        name=f"islands^2 {inner[0]}x{inner[1]}",
+        machine=machine,
+        costs=costs,
+        phases=(step_phase,),
+        nodes_used=islands,
+        total_flops=total_flops * steps,
+    )

@@ -1,0 +1,130 @@
+"""Execution plan for the islands-of-cores approach (Sect. 4.2).
+
+One island per processor; each island runs the (3+1)D decomposition over
+its own slab *plus* the transitive halo it recomputes instead of receiving
+(scenario 2).  Within a time step islands never interact; per step they
+
+1. share the input arrays (halo regions of neighbouring slabs cross the
+   interconnect — explicit transfers in the plan),
+2. compute independently (work-team regime, redundancy included),
+3. return outputs to local memory (part of the streaming roofline), and
+4. synchronize once.
+
+Islands are placed on nodes by the affinity mapper so that neighbouring
+slabs sit on closely-connected processors and halo reads travel few hops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..core import Variant, decompose
+from ..core.affinity import chain_placement
+from ..machine import CostModel, ExecutionPlan, MachineSpec, Phase, Transfer
+from ..stencil import Box, StencilProgram, full_box, plan_flops
+
+__all__ = ["build_islands_plan"]
+
+
+def build_islands_plan(
+    program: StencilProgram,
+    shape: Tuple[int, int, int],
+    steps: int,
+    islands: int,
+    machine: MachineSpec,
+    costs: CostModel,
+    variant: Variant = Variant.A,
+    placement: Optional[Sequence[int]] = None,
+    cache_bytes: Optional[int] = None,
+    partition=None,
+) -> ExecutionPlan:
+    """Compile an islands-of-cores run to phases.
+
+    One compute phase per time step: each node's busy time is the roofline
+    maximum of its island's (redundancy-inclusive) flops at the work-team
+    rate and its compulsory input/output streaming; halo regions of the
+    shared inputs are explicit transfers from the neighbouring islands'
+    nodes.  An explicit ``partition`` (e.g. a 2D processor grid from
+    :func:`repro.core.partition_grid_2d`) overrides ``islands``/``variant``.
+    """
+    if partition is not None:
+        islands = partition.count
+    if not 1 <= islands <= machine.node_count:
+        raise ValueError(f"islands must be in 1..{machine.node_count}")
+    if steps <= 0:
+        raise ValueError("steps must be positive")
+
+    domain = full_box(shape)
+    budget = cache_bytes if cache_bytes is not None else machine.node.l3_bytes
+    decomposition = decompose(
+        program, domain, islands, variant, cache_bytes=budget,
+        partition=partition,
+    )
+    if placement is None:
+        placement = chain_placement(machine.distance_matrix(), islands)
+    elif len(placement) != islands:
+        raise ValueError("placement must assign one node per island")
+
+    itemsize = max(f.itemsize for f in program.fields)
+    team = islands > 1
+
+    node_seconds = {}
+    transfers: List[Transfer] = []
+    for island in decomposition.islands:
+        node = placement[island.index]
+        flops = plan_flops(program, island.halo_plan, arithmetic=True)
+        compute = costs.cached_seconds(float(flops), team=team)
+
+        # Compulsory per-step streaming: the island's share of every input
+        # (own slab; halo comes over the interconnect) and of the output.
+        io_bytes = 0
+        for field in program.input_fields:
+            io_bytes += island.part.size * field.itemsize
+        for field in program.output_fields:
+            io_bytes += island.part.size * field.itemsize
+        io = costs.stream_seconds(io_bytes)
+        node_seconds[node] = max(compute, io)
+
+        # Halo reads: input regions beyond the island's own part, pulled
+        # from whichever neighbour owns them.
+        for box in island.input_boxes.values():
+            clipped = box.intersect(domain)
+            halo = clipped.size - clipped.intersect(island.part).size
+            if halo <= 0:
+                continue
+            for other in decomposition.islands:
+                if other.index == island.index:
+                    continue
+                overlap = clipped.intersect(other.part).size
+                if overlap > 0:
+                    transfers.append(
+                        Transfer(
+                            src=placement[other.index],
+                            dst=node,
+                            bytes=float(overlap * itemsize),
+                        )
+                    )
+
+    step_phase = Phase(
+        name="islands-step",
+        node_seconds=node_seconds,
+        transfers=tuple(transfers),
+        barrier_nodes=islands,
+        extra_seconds=costs.island_step_seconds(islands),
+        repeat=steps,
+    )
+
+    total_flops = float(
+        sum(
+            plan_flops(program, island.halo_plan, arithmetic=True)
+            for island in decomposition.islands
+        )
+    ) * steps
+    return ExecutionPlan(
+        name="islands-of-cores",
+        machine=machine,
+        costs=costs,
+        phases=(step_phase,),
+        nodes_used=islands,
+        total_flops=total_flops,
+    )

@@ -1,0 +1,97 @@
+"""Execution plan for the *original* MPDATA version.
+
+The original code (Sect. 3.1) runs every time step as 17 full-grid stage
+sweeps; each sweep streams its operand arrays from main memory and writes
+its output back, with a synchronization between stages.  Memory placement
+decides everything on NUMA (Table 1's whole story), so the plan is built
+from an explicit page-ownership matrix (:mod:`repro.machine.memory`):
+
+* ``first_touch`` — parallel initialization, each node's share local
+  (Table 1, second row);
+* ``serial`` — all pages in node 0's memory, whose controller then serves
+  the entire machine (Table 1, first row — time *grows* with P);
+* ``interleaved`` — ``numactl --interleave``-style round-robin pages, a
+  policy the paper does not measure but ops teams often default to; the
+  model places it between the other two.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..analysis.traffic import stage_stream_bytes_per_point
+from ..machine import CostModel, ExecutionPlan, MachineSpec
+from ..machine.memory import (
+    first_touch_matrix,
+    interleaved_matrix,
+    serial_matrix,
+    sweep_phase,
+)
+from ..stencil import StencilProgram, full_box, program_arith_flops_per_point
+
+__all__ = ["build_original_plan", "PLACEMENTS"]
+
+PLACEMENTS = ("first_touch", "serial", "interleaved")
+
+_MATRIX_BUILDERS = {
+    "first_touch": first_touch_matrix,
+    "serial": serial_matrix,
+    "interleaved": interleaved_matrix,
+}
+
+_LABELS = {
+    "first_touch": "original",
+    "serial": "original-serial-init",
+    "interleaved": "original-interleaved",
+}
+
+
+def build_original_plan(
+    program: StencilProgram,
+    shape: Tuple[int, int, int],
+    steps: int,
+    nodes: int,
+    machine: MachineSpec,
+    costs: CostModel,
+    placement: str = "first_touch",
+) -> ExecutionPlan:
+    """Compile the original stage-sweep version to phases.
+
+    One phase per stage per time step (expressed as 17 phases with
+    ``repeat=steps``), each bandwidth-bound under the chosen page-placement
+    policy and barrier-terminated.
+    """
+    if placement not in PLACEMENTS:
+        raise ValueError(
+            f"unknown placement {placement!r}; expected one of {PLACEMENTS}"
+        )
+    if not 1 <= nodes <= machine.node_count:
+        raise ValueError(f"nodes must be in 1..{machine.node_count}")
+    if steps <= 0:
+        raise ValueError("steps must be positive")
+
+    matrix = _MATRIX_BUILDERS[placement](nodes)
+    points = full_box(shape).size
+    phases = []
+    for index, stage in enumerate(program.stages):
+        stage_bytes = stage_stream_bytes_per_point(program, index) * points
+        phases.append(
+            sweep_phase(
+                f"stage:{stage.name}",
+                stage_bytes,
+                matrix,
+                machine,
+                costs,
+                repeat=steps,
+            )
+        )
+
+    total_flops = float(program_arith_flops_per_point(program)) * points * steps
+    return ExecutionPlan(
+        name=_LABELS[placement],
+        machine=machine,
+        costs=costs,
+        phases=tuple(phases),
+        nodes_used=nodes,
+        total_flops=total_flops,
+    )

@@ -1,0 +1,241 @@
+"""Compilation of stencil programs to specialized NumPy source.
+
+The interpreter (:mod:`repro.stencil.interpreter`) walks the expression tree
+for every stage of every step.  For a *fixed* halo plan all region geometry
+is known ahead of time, so a program can instead be compiled once into a
+plain Python function whose body is straight-line NumPy code with constant
+slice bounds — no tree walking, no box arithmetic, no dictionary lookups in
+the hot path.
+
+The generated code calls the **same ufuncs in the same order** as the
+interpreter (``np.add(a, b)`` for ``Binary("add", a, b)`` and so on), so
+compiled execution is bit-identical to interpreted execution; a property
+test pins this.  The source is kept on the compiled object for inspection:
+
+>>> from repro.mpdata import mpdata_program
+>>> from repro.stencil import full_box, required_regions, compile_plan
+>>> program = mpdata_program()
+>>> plan = required_regions(program, full_box((16, 16, 8)))
+>>> step = compile_plan(program, plan)          # doctest: +SKIP
+>>> print(step.source)                          # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from .expr import Access, Binary, Const, Expr, Offset, Unary, Where
+from .halo import HaloPlan, required_regions
+from .interpreter import ArrayRegion
+from .program import StencilProgram
+from .region import Box
+
+__all__ = ["CompiledPlan", "compile_plan", "compile_program"]
+
+#: Source-level spellings of the interpreter's ufunc table.  Keeping the
+#: exact same callables is what guarantees bit-identical results.
+_UNARY_SOURCE = {
+    "neg": "np.negative",
+    "abs": "np.abs",
+    "sqrt": "np.sqrt",
+    "pos": "_pos",
+    "neg_part": "_neg_part",
+}
+
+_BINARY_SOURCE = {
+    "add": "np.add",
+    "sub": "np.subtract",
+    "mul": "np.multiply",
+    "div": "np.divide",
+    "max": "np.maximum",
+    "min": "np.minimum",
+}
+
+
+@dataclass
+class CompiledPlan:
+    """A stencil program specialized to one halo plan.
+
+    Call it with the same inputs the interpreter takes; it returns the same
+    outputs (``ArrayRegion`` per output field), bit for bit.
+    """
+
+    program: StencilProgram
+    plan: HaloPlan
+    source: str
+    _function: Callable[..., Dict[str, np.ndarray]]
+    _input_anchors: Dict[str, Box]
+    dtype: np.dtype
+
+    def __call__(
+        self, inputs: Mapping[str, ArrayRegion], keep_temporaries: bool = False
+    ) -> Dict[str, ArrayRegion]:
+        arrays = {}
+        for name, required_box in self._input_anchors.items():
+            region = inputs[name]
+            if not region.box.contains(required_box):
+                raise ValueError(
+                    f"input {name!r} covers {region.box} but "
+                    f"{required_box} is required"
+                )
+            # Re-anchor so the generated constant slices line up.
+            arrays[name] = region.view(required_box)
+        raw = self._function(**arrays)
+
+        field_map = self.program.field_map
+        results: Dict[str, ArrayRegion] = {}
+        for index, stage in enumerate(self.program.stages):
+            box = self.plan.stage_boxes[index]
+            if box.is_empty():
+                continue
+            field = field_map[stage.output]
+            if field.is_output or (keep_temporaries and field.is_temporary):
+                results[stage.output] = ArrayRegion(raw[stage.output], box)
+        return results
+
+
+def _render(expr: Expr, views: Dict[Tuple[str, Offset], str]) -> str:
+    """Render an expression tree to source, mirroring Expr.evaluate."""
+    if isinstance(expr, Const):
+        return repr(expr.value)
+    if isinstance(expr, Access):
+        return views[(expr.field, expr.offset)]
+    if isinstance(expr, Unary):
+        return f"{_UNARY_SOURCE[expr.op]}({_render(expr.operand, views)})"
+    if isinstance(expr, Binary):
+        return (
+            f"{_BINARY_SOURCE[expr.op]}("
+            f"{_render(expr.left, views)}, {_render(expr.right, views)})"
+        )
+    if isinstance(expr, Where):
+        cond = _render(expr.condition, views)
+        return (
+            f"np.where(np.asarray({cond}) > 0.0, "
+            f"{_render(expr.if_true, views)}, "
+            f"{_render(expr.if_false, views)})"
+        )
+    raise TypeError(f"cannot compile expression node {type(expr).__name__}")
+
+
+def _slice_source(read_box: Box, anchor: Box) -> str:
+    parts = []
+    for axis in range(3):
+        start = read_box.lo[axis] - anchor.lo[axis]
+        stop = read_box.hi[axis] - anchor.lo[axis]
+        parts.append(f"{start}:{stop}")
+    return "[" + ", ".join(parts) + "]"
+
+
+def compile_plan(
+    program: StencilProgram,
+    plan: HaloPlan,
+    dtype: np.dtype = np.float64,
+) -> CompiledPlan:
+    """Generate and compile straight-line NumPy code for one halo plan.
+
+    Every stage becomes a block of view bindings plus one expression
+    statement; intermediate arrays are plain locals.  The function returns
+    a dict of every produced stage array (the wrapper re-attaches boxes and
+    filters outputs).
+    """
+    for field in program.fields:
+        if not field.name.isidentifier() or field.name.startswith("_") or (
+            field.name in ("np",)
+        ):
+            raise ValueError(
+                f"field name {field.name!r} cannot be compiled to an "
+                "identifier; rename the field"
+            )
+
+    # Anchor boxes: inputs are re-anchored to exactly their required
+    # regions, produced fields to their stage compute boxes.
+    anchors: Dict[str, Box] = {}
+    input_anchors: Dict[str, Box] = {}
+    for field in program.input_fields:
+        box = plan.input_boxes.get(field.name)
+        if box is None or box.is_empty():
+            continue
+        anchors[field.name] = box
+        input_anchors[field.name] = box
+    for index, stage in enumerate(program.stages):
+        box = plan.stage_boxes[index]
+        if not box.is_empty():
+            anchors[stage.output] = box
+
+    lines: List[str] = []
+    signature = ", ".join(sorted(input_anchors))
+    lines.append(f"def _step({signature}):")
+    if not any(not b.is_empty() for b in plan.stage_boxes):
+        lines.append("    return {}")
+    view_counter = 0
+    produced: List[str] = []
+    for index, stage in enumerate(program.stages):
+        compute = plan.stage_boxes[index]
+        if compute.is_empty():
+            continue
+        lines.append(f"    # stage {index + 1}: {stage.name} -> {stage.output}")
+        views: Dict[Tuple[str, Offset], str] = {}
+        for field_name in stage.reads:
+            for offset in sorted(stage.footprint[field_name]):
+                read_box = compute.shift(offset)
+                if not anchors[field_name].contains(read_box):
+                    # Mirrors the interpreter's runtime check: a clipped
+                    # plan whose reads escape the available data cannot be
+                    # executed — the caller must provide ghost layers
+                    # (negative slice starts would silently wrap).
+                    raise ValueError(
+                        f"stage {stage.name!r} reads {field_name!r} over "
+                        f"{read_box}, outside the available region "
+                        f"{anchors[field_name]}; provide ghost data (see "
+                        "repro.mpdata.boundary)"
+                    )
+                view_name = f"_v{view_counter}"
+                view_counter += 1
+                views[(field_name, offset)] = view_name
+                lines.append(
+                    f"    {view_name} = {field_name}"
+                    f"{_slice_source(read_box, anchors[field_name])}"
+                )
+        shape = compute.shape
+        lines.append(
+            f"    {stage.output} = _out({_render(stage.expr, views)}, {shape})"
+        )
+        produced.append(stage.output)
+    items = ", ".join(f"{name!r}: {name}" for name in produced)
+    lines.append(f"    return {{{items}}}")
+    source = "\n".join(lines)
+
+    def _out(value, shape):
+        out = np.empty(shape, dtype=dtype)
+        out[...] = value
+        return out
+
+    namespace = {
+        "np": np,
+        "_pos": lambda a: np.maximum(a, 0.0),
+        "_neg_part": lambda a: np.minimum(a, 0.0),
+        "_out": _out,
+    }
+    exec(compile(source, f"<stencil:{program.name}>", "exec"), namespace)
+    return CompiledPlan(
+        program=program,
+        plan=plan,
+        source=source,
+        _function=namespace["_step"],
+        _input_anchors=input_anchors,
+        dtype=dtype,
+    )
+
+
+def compile_program(
+    program: StencilProgram,
+    target: Box,
+    domain: Box = None,
+    dtype: np.dtype = np.float64,
+) -> CompiledPlan:
+    """Convenience wrapper: derive the halo plan, then compile it."""
+    plan = required_regions(program, target, domain=domain)
+    return compile_plan(program, plan, dtype=dtype)

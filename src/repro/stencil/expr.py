@@ -1,0 +1,353 @@
+"""Scalar expression trees for stencil stages.
+
+An :class:`Expr` describes, for one output grid point, how its value is
+computed from neighbouring points of other fields.  Expressions are immutable
+trees built from field accesses at constant offsets, numeric constants and a
+small algebra of arithmetic / selection operators.
+
+The tree supports three interpretations used throughout the library:
+
+* vectorized evaluation over NumPy array views (:meth:`Expr.evaluate`),
+* access-footprint extraction — which offsets of which fields are read
+  (:meth:`Expr.footprint`), and
+* floating-point operation counting (:meth:`Expr.flops`).
+
+Keeping all three derivable from a single definition is what lets the
+reproduction *compute* halo sizes (Table 2 of the paper) and sustained
+Gflop/s (Table 4) instead of hard-coding them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Set, Tuple, Union
+
+import numpy as np
+
+Offset = Tuple[int, int, int]
+
+__all__ = [
+    "Offset",
+    "Expr",
+    "Const",
+    "Access",
+    "Unary",
+    "Binary",
+    "Where",
+    "as_expr",
+    "fmax",
+    "fmin",
+    "fabs",
+    "pos",
+    "neg",
+    "sqrt",
+]
+
+
+class Expr:
+    """Base class for all expression nodes.
+
+    Subclasses are immutable; arithmetic operators build new trees.
+    """
+
+    # ------------------------------------------------------------------
+    # Operator sugar
+    # ------------------------------------------------------------------
+    def __add__(self, other: "ExprLike") -> "Expr":
+        return Binary("add", self, as_expr(other))
+
+    def __radd__(self, other: "ExprLike") -> "Expr":
+        return Binary("add", as_expr(other), self)
+
+    def __sub__(self, other: "ExprLike") -> "Expr":
+        return Binary("sub", self, as_expr(other))
+
+    def __rsub__(self, other: "ExprLike") -> "Expr":
+        return Binary("sub", as_expr(other), self)
+
+    def __mul__(self, other: "ExprLike") -> "Expr":
+        return Binary("mul", self, as_expr(other))
+
+    def __rmul__(self, other: "ExprLike") -> "Expr":
+        return Binary("mul", as_expr(other), self)
+
+    def __truediv__(self, other: "ExprLike") -> "Expr":
+        return Binary("div", self, as_expr(other))
+
+    def __rtruediv__(self, other: "ExprLike") -> "Expr":
+        return Binary("div", as_expr(other), self)
+
+    def __neg__(self) -> "Expr":
+        return Unary("neg", self)
+
+    # ------------------------------------------------------------------
+    # Interpretations
+    # ------------------------------------------------------------------
+    def evaluate(self, resolve: Callable[[str, Offset], np.ndarray]) -> np.ndarray:
+        """Evaluate over array views.
+
+        ``resolve(field, offset)`` must return the NumPy view of ``field``
+        shifted by ``offset``, already restricted to the output region.
+        """
+        raise NotImplementedError
+
+    def footprint(self) -> Dict[str, Set[Offset]]:
+        """Map each accessed field name to the set of offsets read."""
+        acc: Dict[str, Set[Offset]] = {}
+        self._collect_footprint(acc)
+        return acc
+
+    def _collect_footprint(self, acc: Dict[str, Set[Offset]]) -> None:
+        raise NotImplementedError
+
+    def flops(self) -> int:
+        """Floating-point operations per output point, all ops counted.
+
+        Counts add/sub/mul/div/max/min/abs/sqrt as one flop each.  Selection
+        (:class:`Where`) counts the comparison as one op.  For the
+        arithmetic-only convention used by hardware FLOP counters (and hence
+        by the paper's Gflop/s numbers) see :meth:`arithmetic_flops`.
+        """
+        return sum(self.op_counts().values())
+
+    def arithmetic_flops(self) -> int:
+        """Add/sub/mul/div/neg/sqrt operations per output point.
+
+        Excludes max/min/abs/positive-part selections, which execute as
+        compare-and-blend instructions that hardware ``FLOPS_DP`` counters
+        (likwid-perfctr, used by the paper) do not count.
+        """
+        counts = self.op_counts()
+        return sum(counts.get(op, 0) for op in _ARITHMETIC_OPS)
+
+    def op_counts(self) -> Dict[str, int]:
+        """Count every operator in the tree, keyed by op name."""
+        acc: Dict[str, int] = {}
+        self._collect_ops(acc)
+        return acc
+
+    def _collect_ops(self, acc: Dict[str, int]) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self._format()
+
+    def _format(self) -> str:
+        raise NotImplementedError
+
+
+ExprLike = Union[Expr, int, float]
+
+
+def as_expr(value: ExprLike) -> Expr:
+    """Coerce a Python number to a :class:`Const`; pass expressions through."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float)):
+        return Const(float(value))
+    raise TypeError(f"cannot convert {type(value).__name__} to Expr")
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A numeric literal."""
+
+    value: float
+
+    def evaluate(self, resolve: Callable[[str, Offset], np.ndarray]) -> np.ndarray:
+        return self.value  # type: ignore[return-value]  # broadcast by NumPy
+
+    def _collect_footprint(self, acc: Dict[str, Set[Offset]]) -> None:
+        pass
+
+    def _collect_ops(self, acc: Dict[str, int]) -> None:
+        pass
+
+    def _format(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Access(Expr):
+    """Read of ``field`` at a constant 3D offset from the output point."""
+
+    field: str
+    offset: Offset = (0, 0, 0)
+
+    def __post_init__(self) -> None:
+        if len(self.offset) != 3:
+            raise ValueError(f"offset must be 3D, got {self.offset!r}")
+
+    def evaluate(self, resolve: Callable[[str, Offset], np.ndarray]) -> np.ndarray:
+        return resolve(self.field, self.offset)
+
+    def _collect_footprint(self, acc: Dict[str, Set[Offset]]) -> None:
+        acc.setdefault(self.field, set()).add(self.offset)
+
+    def _collect_ops(self, acc: Dict[str, int]) -> None:
+        pass
+
+    def _format(self) -> str:
+        di, dj, dk = self.offset
+        if (di, dj, dk) == (0, 0, 0):
+            return f"{self.field}[i,j,k]"
+        parts = []
+        for axis, d in zip("ijk", (di, dj, dk)):
+            parts.append(axis if d == 0 else f"{axis}{d:+d}")
+        return f"{self.field}[{','.join(parts)}]"
+
+
+_UNARY_EVAL: Mapping[str, Callable[[np.ndarray], np.ndarray]] = {
+    "neg": np.negative,
+    "abs": np.abs,
+    "sqrt": np.sqrt,
+    # positive / negative part, as used by donor-cell upwinding:
+    #   pos(u) = max(u, 0),  neg(u) = min(u, 0)
+    "pos": lambda a: np.maximum(a, 0.0),
+    "neg_part": lambda a: np.minimum(a, 0.0),
+}
+
+#: Ops counted by hardware FLOP counters (arithmetic vector instructions).
+_ARITHMETIC_OPS = frozenset({"add", "sub", "mul", "div", "neg", "sqrt"})
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """A one-operand operator: neg, abs, sqrt, pos, neg_part."""
+
+    op: str
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _UNARY_EVAL:
+            raise ValueError(f"unknown unary op {self.op!r}")
+
+    def evaluate(self, resolve: Callable[[str, Offset], np.ndarray]) -> np.ndarray:
+        return _UNARY_EVAL[self.op](self.operand.evaluate(resolve))
+
+    def _collect_footprint(self, acc: Dict[str, Set[Offset]]) -> None:
+        self.operand._collect_footprint(acc)
+
+    def _collect_ops(self, acc: Dict[str, int]) -> None:
+        acc[self.op] = acc.get(self.op, 0) + 1
+        self.operand._collect_ops(acc)
+
+    def _format(self) -> str:
+        return f"{self.op}({self.operand._format()})"
+
+
+_BINARY_EVAL: Mapping[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "add": np.add,
+    "sub": np.subtract,
+    "mul": np.multiply,
+    "div": np.divide,
+    "max": np.maximum,
+    "min": np.minimum,
+}
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """A two-operand operator: add, sub, mul, div, max, min."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _BINARY_EVAL:
+            raise ValueError(f"unknown binary op {self.op!r}")
+
+    def evaluate(self, resolve: Callable[[str, Offset], np.ndarray]) -> np.ndarray:
+        return _BINARY_EVAL[self.op](
+            self.left.evaluate(resolve), self.right.evaluate(resolve)
+        )
+
+    def _collect_footprint(self, acc: Dict[str, Set[Offset]]) -> None:
+        self.left._collect_footprint(acc)
+        self.right._collect_footprint(acc)
+
+    def _collect_ops(self, acc: Dict[str, int]) -> None:
+        acc[self.op] = acc.get(self.op, 0) + 1
+        self.left._collect_ops(acc)
+        self.right._collect_ops(acc)
+
+    def _format(self) -> str:
+        sym = {"add": "+", "sub": "-", "mul": "*", "div": "/"}.get(self.op)
+        if sym is not None:
+            return f"({self.left._format()} {sym} {self.right._format()})"
+        return f"{self.op}({self.left._format()}, {self.right._format()})"
+
+
+@dataclass(frozen=True)
+class Where(Expr):
+    """Selection: ``if_true`` where ``condition > 0`` else ``if_false``."""
+
+    condition: Expr
+    if_true: Expr
+    if_false: Expr
+
+    def evaluate(self, resolve: Callable[[str, Offset], np.ndarray]) -> np.ndarray:
+        cond = self.condition.evaluate(resolve)
+        return np.where(
+            np.asarray(cond) > 0.0,
+            self.if_true.evaluate(resolve),
+            self.if_false.evaluate(resolve),
+        )
+
+    def _collect_footprint(self, acc: Dict[str, Set[Offset]]) -> None:
+        self.condition._collect_footprint(acc)
+        self.if_true._collect_footprint(acc)
+        self.if_false._collect_footprint(acc)
+
+    def _collect_ops(self, acc: Dict[str, int]) -> None:
+        acc["where"] = acc.get("where", 0) + 1
+        self.condition._collect_ops(acc)
+        self.if_true._collect_ops(acc)
+        self.if_false._collect_ops(acc)
+
+    def _format(self) -> str:
+        return (
+            f"where({self.condition._format()} > 0, "
+            f"{self.if_true._format()}, {self.if_false._format()})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+def fmax(a: ExprLike, b: ExprLike, *rest: ExprLike) -> Expr:
+    """Elementwise maximum of two or more expressions."""
+    result = Binary("max", as_expr(a), as_expr(b))
+    for item in rest:
+        result = Binary("max", result, as_expr(item))
+    return result
+
+
+def fmin(a: ExprLike, b: ExprLike, *rest: ExprLike) -> Expr:
+    """Elementwise minimum of two or more expressions."""
+    result = Binary("min", as_expr(a), as_expr(b))
+    for item in rest:
+        result = Binary("min", result, as_expr(item))
+    return result
+
+
+def fabs(a: ExprLike) -> Expr:
+    """Elementwise absolute value."""
+    return Unary("abs", as_expr(a))
+
+
+def pos(a: ExprLike) -> Expr:
+    """Positive part, ``max(a, 0)`` — the donor-cell upwind selector."""
+    return Unary("pos", as_expr(a))
+
+
+def neg(a: ExprLike) -> Expr:
+    """Negative part, ``min(a, 0)``."""
+    return Unary("neg_part", as_expr(a))
+
+
+def sqrt(a: ExprLike) -> Expr:
+    """Elementwise square root."""
+    return Unary("sqrt", as_expr(a))

@@ -1,0 +1,66 @@
+"""Field declarations for stencil programs.
+
+A *field* is a named 3D array participating in a stencil program.  Fields
+carry a role — program input, program output, or temporary produced by one
+stage and consumed by later ones — plus the number of bytes per element,
+which feeds the memory-traffic accounting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["FieldRole", "Field"]
+
+
+class FieldRole(enum.Enum):
+    """How a field enters the program's dataflow."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    TEMPORARY = "temporary"
+
+
+@dataclass(frozen=True)
+class Field:
+    """A named grid array.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier, used by :class:`~repro.stencil.expr.Access` nodes.
+    role:
+        Input / output / temporary.
+    itemsize:
+        Bytes per element; the paper uses double precision throughout, so
+        the default is 8.
+    time_varying:
+        True for fields that change every time step (the advected scalar),
+        False for coefficient fields such as velocities and density that
+        MPDATA re-reads each step without modification.  Traffic accounting
+        distinguishes the two.
+    """
+
+    name: str
+    role: FieldRole
+    itemsize: int = 8
+    time_varying: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("field name must be non-empty")
+        if self.itemsize <= 0:
+            raise ValueError("itemsize must be positive")
+
+    @property
+    def is_input(self) -> bool:
+        return self.role is FieldRole.INPUT
+
+    @property
+    def is_output(self) -> bool:
+        return self.role is FieldRole.OUTPUT
+
+    @property
+    def is_temporary(self) -> bool:
+        return self.role is FieldRole.TEMPORARY

@@ -1,0 +1,101 @@
+"""Flop and load/store accounting for stencil programs.
+
+Sustained-performance numbers in the paper (Table 4) divide the algorithm's
+floating-point work by measured time.  Here the work is derived from the IR:
+each stage's expression tree knows its flops per point, and the halo plan
+knows how many points each stage computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .halo import HaloPlan
+from .program import StencilProgram
+from .region import Box, full_box
+
+__all__ = ["StageCost", "ProgramCost", "program_cost", "plan_flops"]
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """Per-point cost of one stage."""
+
+    name: str
+    output: str
+    flops_per_point: int
+    reads_per_point: int
+    writes_per_point: int = 1
+
+
+@dataclass(frozen=True)
+class ProgramCost:
+    """Aggregate per-point cost of a program's time step."""
+
+    stages: Tuple[StageCost, ...]
+
+    @property
+    def flops_per_point(self) -> int:
+        """Flops per grid point per time step, all stages summed."""
+        return sum(s.flops_per_point for s in self.stages)
+
+    @property
+    def reads_per_point(self) -> int:
+        return sum(s.reads_per_point for s in self.stages)
+
+    @property
+    def writes_per_point(self) -> int:
+        return sum(s.writes_per_point for s in self.stages)
+
+    def flops_for(self, shape: Tuple[int, int, int], steps: int = 1) -> int:
+        """Total flops for a grid of ``shape`` over ``steps`` time steps,
+        assuming every stage sweeps the whole grid (no redundancy)."""
+        ni, nj, nk = shape
+        return self.flops_per_point * ni * nj * nk * steps
+
+
+def program_cost(program: StencilProgram) -> ProgramCost:
+    """Derive the per-stage cost table from the IR."""
+    stages = tuple(
+        StageCost(
+            name=stage.name,
+            output=stage.output,
+            flops_per_point=stage.flops_per_point,
+            reads_per_point=stage.reads_per_point,
+        )
+        for stage in program.stages
+    )
+    return ProgramCost(stages)
+
+
+def plan_flops(
+    program: StencilProgram, plan: HaloPlan, arithmetic: bool = False
+) -> int:
+    """Exact flops executed when following ``plan`` (redundancy included).
+
+    ``arithmetic=True`` counts only add/sub/mul/div/sqrt — the hardware-
+    counter convention the paper's Gflop/s figures use.
+    """
+    total = 0
+    for stage, box in zip(program.stages, plan.stage_boxes):
+        per_point = (
+            stage.arith_flops_per_point if arithmetic else stage.flops_per_point
+        )
+        total += box.size * per_point
+    return total
+
+
+def program_arith_flops_per_point(program: StencilProgram) -> int:
+    """Arithmetic flops per grid point per time step, all stages."""
+    return sum(stage.arith_flops_per_point for stage in program.stages)
+
+
+def flops_by_stage_for_shape(
+    program: StencilProgram, shape: Tuple[int, int, int]
+) -> Dict[str, int]:
+    """Flops per stage for one full sweep of a grid of ``shape``."""
+    box: Box = full_box(shape)
+    return {
+        stage.name: box.size * stage.flops_per_point for stage in program.stages
+    }

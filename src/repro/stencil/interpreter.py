@@ -1,0 +1,226 @@
+"""Vectorized NumPy interpreter for stencil programs.
+
+The interpreter executes a :class:`~repro.stencil.program.StencilProgram`
+over an arbitrary target region, allocating each intermediate exactly over
+the region the backward halo analysis says is needed.  Because regions live
+in *global* index space, the same interpreter runs
+
+* the whole domain at once (the reference execution),
+* one (3+1)D block, or
+* one island's slab including its redundant halo (scenario 2 of Fig. 1),
+
+and in all cases performs the identical floating-point operations per point
+— which is what makes bit-exact verification of the islands approach
+possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .expr import Offset
+from .halo import HaloPlan, required_regions
+from .program import StencilProgram
+from .region import Box
+
+__all__ = ["ArrayRegion", "ExecutionStats", "execute", "execute_plan"]
+
+
+@dataclass(frozen=True)
+class ArrayRegion:
+    """A NumPy array anchored at a box in global grid-index space.
+
+    ``data[0, 0, 0]`` corresponds to grid point ``box.lo``.
+    """
+
+    data: np.ndarray
+    box: Box
+
+    def __post_init__(self) -> None:
+        if tuple(self.data.shape) != self.box.shape:
+            raise ValueError(
+                f"array shape {self.data.shape} does not match box {self.box}"
+            )
+
+    def view(self, box: Box) -> np.ndarray:
+        """View of the sub-box ``box`` (must lie inside this region)."""
+        if not self.box.contains(box):
+            raise ValueError(f"requested {box} outside stored region {self.box}")
+        return self.data[box.slices(self.box.lo)]
+
+    @staticmethod
+    def wrap(data: np.ndarray, lo: Tuple[int, int, int] = (0, 0, 0)) -> "ArrayRegion":
+        """Wrap an array whose [0,0,0] element sits at grid point ``lo``."""
+        hi = tuple(l + s for l, s in zip(lo, data.shape))
+        return ArrayRegion(np.asarray(data), Box(lo, hi))  # type: ignore[arg-type]
+
+
+@dataclass
+class ExecutionStats:
+    """Work actually performed by one interpreter run."""
+
+    points_by_stage: Dict[str, int]
+    flops: int
+    allocations: int = 0
+    reused_buffers: int = 0
+
+    @property
+    def points(self) -> int:
+        return sum(self.points_by_stage.values())
+
+
+def execute(
+    program: StencilProgram,
+    inputs: Mapping[str, ArrayRegion],
+    target: Box,
+    domain: Optional[Box] = None,
+    keep_temporaries: bool = False,
+    dtype: np.dtype = np.float64,
+    reuse_buffers: bool = False,
+) -> Tuple[Dict[str, ArrayRegion], ExecutionStats]:
+    """Run ``program`` so that its outputs cover ``target``.
+
+    Parameters
+    ----------
+    inputs:
+        One :class:`ArrayRegion` per program input.  Each must cover the
+        region the halo analysis requires (typically the target expanded by
+        the program's input halo; the solver provides ghost margins).
+    target:
+        Output region to produce, in global index space.
+    domain:
+        Optional clipping bounds passed to the halo analysis.  Regions
+        outside ``domain`` are assumed to be supplied via the input arrays'
+        ghost cells.
+    keep_temporaries:
+        When True the returned dict also contains every intermediate field
+        (useful for stage-level testing).
+
+    Returns
+    -------
+    (results, stats):
+        ``results`` maps output (and optionally temporary) field names to
+        regions covering at least ``target``; ``stats`` records points and
+        flops actually computed.
+    """
+    plan = required_regions(program, target, domain=domain)
+    return execute_plan(
+        program, plan, inputs, keep_temporaries=keep_temporaries, dtype=dtype,
+        reuse_buffers=reuse_buffers,
+    )
+
+
+def execute_plan(
+    program: StencilProgram,
+    plan: HaloPlan,
+    inputs: Mapping[str, ArrayRegion],
+    keep_temporaries: bool = False,
+    dtype: np.dtype = np.float64,
+    reuse_buffers: bool = False,
+) -> Tuple[Dict[str, ArrayRegion], ExecutionStats]:
+    """Run a program following a precomputed :class:`HaloPlan`.
+
+    Splitting plan construction from execution lets callers (the solver,
+    the islands runner) reuse the plan across time steps.
+
+    With ``reuse_buffers`` the interpreter recycles the arrays of
+    temporaries that no later stage reads — a liveness-based arena, the
+    allocator-level analogue of the (3+1)D idea that dead intermediates
+    should not occupy fresh storage.  Incompatible with
+    ``keep_temporaries`` (recycled arrays would alias) and refused then.
+    Results are bit-identical either way: every output element is fully
+    overwritten before any read.
+    """
+    if reuse_buffers and keep_temporaries:
+        raise ValueError("reuse_buffers and keep_temporaries are exclusive")
+    storage: Dict[str, ArrayRegion] = {}
+    for field in program.input_fields:
+        required = plan.input_boxes[field.name]
+        if field.name not in inputs:
+            if required.is_empty():
+                continue
+            raise KeyError(f"missing program input {field.name!r}")
+        region = inputs[field.name]
+        if not required.is_empty() and not region.box.contains(required):
+            raise ValueError(
+                f"input {field.name!r} covers {region.box} but "
+                f"{required} is required"
+            )
+        storage[field.name] = region
+
+    # Liveness: the last stage index that reads each produced field.
+    last_use: Dict[str, int] = {}
+    if reuse_buffers:
+        produced = {stage.output for stage in program.stages}
+        for index, stage in enumerate(program.stages):
+            for read in stage.reads:
+                if read in produced:
+                    last_use[read] = index
+
+    # Capacity-based arena: retired flat buffers, ascending by size.  A
+    # stage's output becomes a reshaped view of the smallest adequate one
+    # (stage boxes differ slightly in shape, so pooling by capacity rather
+    # than exact shape is what makes reuse actually fire).
+    pool: list = []
+    bases: Dict[str, np.ndarray] = {}
+    points_by_stage: Dict[str, int] = {}
+    flops = 0
+    allocations = 0
+    reused = 0
+    for index, stage in enumerate(program.stages):
+        compute = plan.stage_boxes[index]
+        points_by_stage[stage.name] = compute.size
+        if compute.is_empty():
+            continue
+        flops += compute.size * stage.flops_per_point
+
+        def resolve(field_name: str, offset: Offset) -> np.ndarray:
+            return storage[field_name].view(compute.shift(offset))
+
+        value = stage.expr.evaluate(resolve)
+        need = compute.size
+        out = None
+        if reuse_buffers:
+            for slot, base in enumerate(pool):
+                if base.size >= need:
+                    out = base[:need].reshape(compute.shape)
+                    bases[stage.output] = base
+                    del pool[slot]
+                    reused += 1
+                    break
+        if out is None:
+            base = np.empty(need, dtype=dtype)
+            out = base.reshape(compute.shape)
+            bases[stage.output] = base
+            allocations += 1
+        out[...] = value
+        storage[stage.output] = ArrayRegion(out, compute)
+
+        if reuse_buffers:
+            # Retire temporaries whose last reader has now run; outputs
+            # must survive, inputs are caller-owned.
+            field_map_local = program.field_map
+            for name, final_reader in last_use.items():
+                if final_reader != index:
+                    continue
+                if not field_map_local[name].is_temporary:
+                    continue
+                if storage.pop(name, None) is not None:
+                    base = bases.pop(name)
+                    position = 0
+                    while position < len(pool) and pool[position].size < base.size:
+                        position += 1
+                    pool.insert(position, base)
+
+    field_map = program.field_map
+    results: Dict[str, ArrayRegion] = {}
+    for name, region in storage.items():
+        field = field_map[name]
+        if field.is_output or (keep_temporaries and field.is_temporary):
+            results[name] = region
+    return results, ExecutionStats(
+        points_by_stage, flops, allocations=allocations, reused_buffers=reused
+    )

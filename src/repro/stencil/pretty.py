@@ -1,0 +1,96 @@
+"""Human-readable program listings.
+
+Renders a stencil program the way the paper's Sect. 3.1 table describes
+MPDATA: one row per stage with its output, stencil pattern extents, flop
+cost and the transitive halo it forces — everything derived live from the
+IR.  Used by ``python -m repro show``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .expr import Offset
+from .halo import stage_expansions
+from .program import StencilProgram
+from .validate import dependency_levels
+
+__all__ = ["describe_program", "describe_stage_table"]
+
+
+def _extent_str(lo: Offset, hi: Offset) -> str:
+    parts = []
+    for axis, (l, h) in zip("ijk", zip(lo, hi)):
+        if l == 0 and h == 0:
+            continue
+        parts.append(f"{axis}[-{l}..+{h}]")
+    return " ".join(parts) if parts else "point"
+
+
+def describe_stage_table(program: StencilProgram) -> str:
+    """One aligned row per stage: pattern, cost, halo, dependencies."""
+    from ..analysis.report import format_table  # local: avoid package cycle
+
+    expansions = stage_expansions(program)
+    producer = {s.output: i for i, s in enumerate(program.stages)}
+    rows = []
+    for index, stage in enumerate(program.stages):
+        reach_lo = [0, 0, 0]
+        reach_hi = [0, 0, 0]
+        for field_name in stage.reads:
+            extent = stage.extent_on(field_name)
+            for axis in range(3):
+                reach_lo[axis] = max(reach_lo[axis], extent.lo[axis])
+                reach_hi[axis] = max(reach_hi[axis], extent.hi[axis])
+        deps = sorted(
+            {
+                producer[read] + 1
+                for read in stage.reads
+                if read in producer and producer[read] < index
+            }
+        )
+        halo_lo, halo_hi = expansions[index]
+        rows.append(
+            (
+                index + 1,
+                stage.name,
+                stage.output,
+                _extent_str(tuple(reach_lo), tuple(reach_hi)),  # type: ignore[arg-type]
+                stage.arith_flops_per_point,
+                _extent_str(halo_lo, halo_hi),
+                ",".join(str(d) for d in deps) or "-",
+            )
+        )
+    return format_table(
+        f"program {program.name!r}: {len(program.stages)} stages",
+        ["#", "stage", "writes", "pattern", "flops", "halo", "deps"],
+        rows,
+        note="pattern = direct stencil reach; halo = region computed beyond "
+        "the target after transitive propagation; deps = producing stages.",
+    )
+
+
+def describe_program(program: StencilProgram) -> str:
+    """Full listing: fields, stage table, levels and aggregate costs."""
+    lines: List[str] = []
+    inputs = ", ".join(f.name for f in program.input_fields)
+    outputs = ", ".join(f.name for f in program.output_fields)
+    temporaries = ", ".join(f.name for f in program.temporary_fields)
+    lines.append(describe_stage_table(program))
+    lines.append("")
+    lines.append(f"inputs:      {inputs}")
+    lines.append(f"outputs:     {outputs}")
+    lines.append(f"temporaries: {temporaries or '-'}")
+    levels = dependency_levels(program)
+    lines.append(
+        "levels:      "
+        + " | ".join(
+            "{" + ",".join(str(i + 1) for i in level) + "}" for level in levels
+        )
+    )
+    lines.append(
+        f"per point:   {sum(s.arith_flops_per_point for s in program.stages)} "
+        f"arithmetic flops, {sum(s.flops_per_point for s in program.stages)} "
+        "total ops"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Axis-aligned 3D index regions (boxes).
+
+A :class:`Box` is a half-open box ``[lo, hi)`` in grid-index space.  Boxes
+are the currency of the halo analysis: "which region of stage *s* must be
+computed so that the final stage covers region *R*" is answered by expanding
+boxes backwards through the stage dependency graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Tuple
+
+from .expr import Offset
+
+__all__ = ["Box", "full_box"]
+
+
+@dataclass(frozen=True, order=True)
+class Box:
+    """Half-open 3D index box ``[lo[a], hi[a])`` per axis ``a``.
+
+    An empty box is represented by any axis with ``hi <= lo``; all empty
+    boxes compare equal through :meth:`is_empty` but may have distinct
+    coordinates.
+    """
+
+    lo: Tuple[int, int, int]
+    hi: Tuple[int, int, int]
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != 3 or len(self.hi) != 3:
+            raise ValueError("Box bounds must be 3D")
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        """Extent per axis (clamped at zero for empty boxes)."""
+        return tuple(max(0, h - l) for l, h in zip(self.lo, self.hi))  # type: ignore[return-value]
+
+    @property
+    def size(self) -> int:
+        """Number of grid points contained."""
+        ni, nj, nk = self.shape
+        return ni * nj * nk
+
+    def is_empty(self) -> bool:
+        """True when the box contains no points."""
+        return any(h <= l for l, h in zip(self.lo, self.hi))
+
+    # ------------------------------------------------------------------
+    def shift(self, offset: Offset) -> "Box":
+        """Translate the whole box by ``offset``."""
+        return Box(
+            tuple(l + d for l, d in zip(self.lo, offset)),  # type: ignore[arg-type]
+            tuple(h + d for h, d in zip(self.hi, offset)),  # type: ignore[arg-type]
+        )
+
+    def expand(self, lo_by: Offset, hi_by: Offset) -> "Box":
+        """Grow the box by ``lo_by`` below and ``hi_by`` above (per axis).
+
+        Positive values enlarge the box.  Used to turn a required output
+        region into the input region a stencil must read:
+
+        >>> Box((4, 0, 0), (8, 4, 4)).expand((1, 0, 0), (2, 0, 0))
+        Box(lo=(3, 0, 0), hi=(10, 4, 4))
+        """
+        return Box(
+            tuple(l - d for l, d in zip(self.lo, lo_by)),  # type: ignore[arg-type]
+            tuple(h + d for h, d in zip(self.hi, hi_by)),  # type: ignore[arg-type]
+        )
+
+    def expand_for_reads(self, offsets: Iterable[Offset]) -> "Box":
+        """Smallest box containing ``self`` shifted by every read offset.
+
+        If a stage computing region ``self`` reads a field at each offset in
+        ``offsets``, the returned box is the region of that field it touches.
+        """
+        offsets = list(offsets)
+        if not offsets:
+            return self
+        lo = list(self.lo)
+        hi = list(self.hi)
+        for off in offsets:
+            for axis in range(3):
+                lo[axis] = min(lo[axis], self.lo[axis] + off[axis])
+                hi[axis] = max(hi[axis], self.hi[axis] + off[axis])
+        return Box(tuple(lo), tuple(hi))  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    def intersect(self, other: "Box") -> "Box":
+        """Largest box contained in both; may be empty."""
+        return Box(
+            tuple(max(a, b) for a, b in zip(self.lo, other.lo)),  # type: ignore[arg-type]
+            tuple(min(a, b) for a, b in zip(self.hi, other.hi)),  # type: ignore[arg-type]
+        )
+
+    def hull(self, other: "Box") -> "Box":
+        """Smallest box containing both (empty operands are ignored)."""
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        return Box(
+            tuple(min(a, b) for a, b in zip(self.lo, other.lo)),  # type: ignore[arg-type]
+            tuple(max(a, b) for a, b in zip(self.hi, other.hi)),  # type: ignore[arg-type]
+        )
+
+    def clip(self, bounds: "Box") -> "Box":
+        """Alias of :meth:`intersect`, named for clipping to domain bounds."""
+        return self.intersect(bounds)
+
+    def contains(self, other: "Box") -> bool:
+        """True when ``other`` lies entirely inside ``self``."""
+        if other.is_empty():
+            return True
+        return all(sl <= ol for sl, ol in zip(self.lo, other.lo)) and all(
+            oh <= sh for oh, sh in zip(other.hi, self.hi)
+        )
+
+    def contains_point(self, point: Tuple[int, int, int]) -> bool:
+        """True when the grid point lies inside the box."""
+        return all(l <= p < h for l, p, h in zip(self.lo, point, self.hi))
+
+    # ------------------------------------------------------------------
+    def slices(self, origin: Tuple[int, int, int] = (0, 0, 0)) -> Tuple[slice, slice, slice]:
+        """NumPy index slices for this box inside an array whose element
+        ``[0,0,0]`` corresponds to grid point ``origin``."""
+        return tuple(
+            slice(l - o, h - o) for l, h, o in zip(self.lo, self.hi, origin)
+        )  # type: ignore[return-value]
+
+    def translate_to_origin(self) -> "Box":
+        """The same box with its low corner moved to (0,0,0)."""
+        return Box((0, 0, 0), self.shape)
+
+    def points(self) -> Iterator[Tuple[int, int, int]]:
+        """Iterate all contained grid points (small boxes only)."""
+        for i in range(self.lo[0], self.hi[0]):
+            for j in range(self.lo[1], self.hi[1]):
+                for k in range(self.lo[2], self.hi[2]):
+                    yield (i, j, k)
+
+    def __repr__(self) -> str:
+        return f"Box(lo={self.lo}, hi={self.hi})"
+
+
+def full_box(shape: Tuple[int, int, int]) -> Box:
+    """The box covering an entire grid of the given shape."""
+    return Box((0, 0, 0), tuple(shape))  # type: ignore[arg-type]

@@ -1,0 +1,134 @@
+"""JSON-serializable form of stencil programs.
+
+Programs round-trip through plain dictionaries (and therefore JSON files),
+so stencil definitions can be stored next to experiment configurations,
+diffed in code review, or exchanged with external tools.  The schema
+mirrors the IR one-to-one; loading validates through the normal
+:class:`~repro.stencil.program.StencilProgram` constructor, so a tampered
+file fails the same structural checks a hand-built program would.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from .expr import Access, Binary, Const, Expr, Unary, Where
+from .field import Field, FieldRole
+from .program import StencilProgram
+from .stage import Stage
+
+__all__ = [
+    "expr_to_dict",
+    "expr_from_dict",
+    "program_to_dict",
+    "program_from_dict",
+    "dump_program",
+    "load_program",
+]
+
+
+def expr_to_dict(expr: Expr) -> Dict[str, Any]:
+    """Encode an expression tree as nested plain dicts."""
+    if isinstance(expr, Const):
+        return {"kind": "const", "value": expr.value}
+    if isinstance(expr, Access):
+        return {"kind": "access", "field": expr.field, "offset": list(expr.offset)}
+    if isinstance(expr, Unary):
+        return {
+            "kind": "unary",
+            "op": expr.op,
+            "operand": expr_to_dict(expr.operand),
+        }
+    if isinstance(expr, Binary):
+        return {
+            "kind": "binary",
+            "op": expr.op,
+            "left": expr_to_dict(expr.left),
+            "right": expr_to_dict(expr.right),
+        }
+    if isinstance(expr, Where):
+        return {
+            "kind": "where",
+            "condition": expr_to_dict(expr.condition),
+            "if_true": expr_to_dict(expr.if_true),
+            "if_false": expr_to_dict(expr.if_false),
+        }
+    raise TypeError(f"cannot serialize node {type(expr).__name__}")
+
+
+def expr_from_dict(data: Dict[str, Any]) -> Expr:
+    """Decode an expression tree; raises on malformed input."""
+    kind = data.get("kind")
+    if kind == "const":
+        return Const(float(data["value"]))
+    if kind == "access":
+        offset = data.get("offset", [0, 0, 0])
+        return Access(str(data["field"]), tuple(int(d) for d in offset))  # type: ignore[arg-type]
+    if kind == "unary":
+        return Unary(data["op"], expr_from_dict(data["operand"]))
+    if kind == "binary":
+        return Binary(
+            data["op"],
+            expr_from_dict(data["left"]),
+            expr_from_dict(data["right"]),
+        )
+    if kind == "where":
+        return Where(
+            expr_from_dict(data["condition"]),
+            expr_from_dict(data["if_true"]),
+            expr_from_dict(data["if_false"]),
+        )
+    raise ValueError(f"unknown expression kind {kind!r}")
+
+
+def program_to_dict(program: StencilProgram) -> Dict[str, Any]:
+    """Encode a whole program (fields, stages, order)."""
+    return {
+        "name": program.name,
+        "fields": [
+            {
+                "name": field.name,
+                "role": field.role.value,
+                "itemsize": field.itemsize,
+                "time_varying": field.time_varying,
+            }
+            for field in program.fields
+        ],
+        "stages": [
+            {
+                "name": stage.name,
+                "output": stage.output,
+                "expr": expr_to_dict(stage.expr),
+            }
+            for stage in program.stages
+        ],
+    }
+
+
+def program_from_dict(data: Dict[str, Any]) -> StencilProgram:
+    """Decode and validate a program."""
+    fields = tuple(
+        Field(
+            name=entry["name"],
+            role=FieldRole(entry["role"]),
+            itemsize=int(entry.get("itemsize", 8)),
+            time_varying=bool(entry.get("time_varying", True)),
+        )
+        for entry in data["fields"]
+    )
+    stages = tuple(
+        Stage(entry["name"], entry["output"], expr_from_dict(entry["expr"]))
+        for entry in data["stages"]
+    )
+    return StencilProgram(data["name"], fields, stages)
+
+
+def dump_program(program: StencilProgram, indent: int = 2) -> str:
+    """Serialize a program to a JSON string."""
+    return json.dumps(program_to_dict(program), indent=indent)
+
+
+def load_program(text: str) -> StencilProgram:
+    """Parse a program from a JSON string (validating structure)."""
+    return program_from_dict(json.loads(text))

@@ -1,0 +1,199 @@
+"""(3+1)D decomposition: blocking a stencil program's time step.
+
+The authors' earlier optimization (Sect. 3.2 of the paper) partitions the
+grid into sub-domains small enough that *all* intermediate fields of all 17
+stages stay resident in cache while a sub-domain is processed; sub-domains
+run one after another ("+1" — the sequential dimension), each swept by all
+available cores.  Main-memory traffic then shrinks to the compulsory
+input/output arrays.
+
+This module plans such blockings: it sizes blocks against a cache budget
+using the program's own field count and halo depths, and enumerates the
+block boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .halo import program_halo_depth
+from .program import StencilProgram
+from .region import Box
+
+__all__ = ["BlockPlan", "working_set_bytes", "plan_blocks", "plan_blocks_exact", "split_axis"]
+
+
+@dataclass(frozen=True)
+class BlockPlan:
+    """A (3+1)D blocking of a domain.
+
+    Attributes
+    ----------
+    domain:
+        The region being blocked (an island's slab or the whole grid).
+    blocks:
+        Disjoint boxes covering ``domain`` exactly, in execution order.
+    block_shape:
+        Nominal interior shape of a block (edge blocks may be smaller).
+    working_set:
+        Estimated bytes of cache needed to process one block.
+    """
+
+    domain: Box
+    blocks: Tuple[Box, ...]
+    block_shape: Tuple[int, int, int]
+    working_set: int
+
+    @property
+    def count(self) -> int:
+        return len(self.blocks)
+
+    def validate_partition(self) -> None:
+        """Check the blocks tile the domain exactly (used by tests)."""
+        total = sum(b.size for b in self.blocks)
+        if total != self.domain.size:
+            raise AssertionError(
+                f"blocks cover {total} points, domain has {self.domain.size}"
+            )
+        for a, box_a in enumerate(self.blocks):
+            if not self.domain.contains(box_a):
+                raise AssertionError(f"block {box_a} escapes domain {self.domain}")
+            for box_b in self.blocks[a + 1 :]:
+                if not box_a.intersect(box_b).is_empty():
+                    raise AssertionError(f"blocks {box_a} and {box_b} overlap")
+
+
+def working_set_bytes(
+    program: StencilProgram, block_shape: Tuple[int, int, int]
+) -> int:
+    """Cache bytes needed to keep one block's whole time step resident.
+
+    Every field (inputs, temporaries, outputs) holds a block extended by the
+    program's transitive halo; all must coexist since late stages read early
+    temporaries.
+    """
+    lo, hi = program_halo_depth(program)
+    padded = tuple(
+        shape + lo[a] + hi[a] for a, shape in enumerate(block_shape)
+    )
+    points = padded[0] * padded[1] * padded[2]
+    return sum(field.itemsize for field in program.fields) * points
+
+
+def split_axis(length: int, parts: int, origin: int = 0) -> List[Tuple[int, int]]:
+    """Split ``[origin, origin+length)`` into ``parts`` near-equal ranges.
+
+    The first ``length % parts`` ranges get one extra element, matching the
+    paper's equal decomposition of the MPDATA domain across islands.
+    """
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    if parts > length:
+        raise ValueError(f"cannot split {length} cells into {parts} parts")
+    base, remainder = divmod(length, parts)
+    ranges = []
+    start = origin
+    for index in range(parts):
+        size = base + (1 if index < remainder else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def plan_blocks(
+    program: StencilProgram,
+    domain: Box,
+    cache_bytes: int,
+    min_block: Tuple[int, int, int] = (4, 4, 4),
+    block_full_k: bool = True,
+) -> BlockPlan:
+    """Choose a block shape fitting ``cache_bytes`` and tile ``domain``.
+
+    Strategy (mirrors the authors' implementation): keep the innermost *k*
+    axis whole when possible (contiguous vectorized sweeps), then shrink
+    *j* and finally *i* until the working set fits.  Blocks are enumerated
+    in i-major order, the "+1" sequential dimension of the decomposition.
+
+    Raises
+    ------
+    ValueError
+        If even the minimum block exceeds the cache budget.
+    """
+    if domain.is_empty():
+        raise ValueError("cannot block an empty domain")
+    di, dj, dk = domain.shape
+
+    shape = [di, dj, dk]
+    # Repeatedly halve the largest shrinkable axis: balanced blocks have the
+    # best halo surface-to-volume ratio, which minimises re-read traffic.
+    # With block_full_k the innermost axis is only shrunk as a last resort
+    # (contiguous k-sweeps vectorize; the authors keep k whole).
+    while working_set_bytes(program, tuple(shape)) > cache_bytes:  # type: ignore[arg-type]
+        candidates = [
+            axis
+            for axis in (0, 1)
+            if shape[axis] // 2 >= min_block[axis]
+        ]
+        if not candidates and not block_full_k:
+            if shape[2] // 2 >= min_block[2]:
+                candidates = [2]
+        if not candidates:
+            if block_full_k and shape[2] // 2 >= min_block[2]:
+                candidates = [2]
+            else:
+                break
+        axis = max(candidates, key=lambda a: shape[a])
+        shape[axis] //= 2
+
+    final_shape = tuple(shape)
+    ws = working_set_bytes(program, final_shape)  # type: ignore[arg-type]
+    if ws > cache_bytes:
+        raise ValueError(
+            f"minimum block {final_shape} needs {ws} B, cache budget is "
+            f"{cache_bytes} B"
+        )
+
+    blocks: List[Box] = []
+    i_ranges = _ranges(domain.lo[0], domain.hi[0], final_shape[0])
+    j_ranges = _ranges(domain.lo[1], domain.hi[1], final_shape[1])
+    k_ranges = _ranges(domain.lo[2], domain.hi[2], final_shape[2])
+    for i0, i1 in i_ranges:
+        for j0, j1 in j_ranges:
+            for k0, k1 in k_ranges:
+                blocks.append(Box((i0, j0, k0), (i1, j1, k1)))
+
+    plan = BlockPlan(domain, tuple(blocks), final_shape, ws)  # type: ignore[arg-type]
+    return plan
+
+
+def plan_blocks_exact(
+    program: StencilProgram,
+    domain: Box,
+    block_shape: Tuple[int, int, int],
+) -> BlockPlan:
+    """Tile ``domain`` with a caller-chosen block shape (no cache check).
+
+    The autotuner's entry point: it owns the search policy and the cache
+    constraint; this function just builds the plan and records the working
+    set so the caller can filter.
+    """
+    if domain.is_empty():
+        raise ValueError("cannot block an empty domain")
+    if any(extent <= 0 for extent in block_shape):
+        raise ValueError("block shape extents must be positive")
+    blocks: List[Box] = []
+    for i0, i1 in _ranges(domain.lo[0], domain.hi[0], block_shape[0]):
+        for j0, j1 in _ranges(domain.lo[1], domain.hi[1], block_shape[1]):
+            for k0, k1 in _ranges(domain.lo[2], domain.hi[2], block_shape[2]):
+                blocks.append(Box((i0, j0, k0), (i1, j1, k1)))
+    return BlockPlan(
+        domain,
+        tuple(blocks),
+        tuple(block_shape),
+        working_set_bytes(program, tuple(block_shape)),
+    )
+
+
+def _ranges(lo: int, hi: int, step: int) -> List[Tuple[int, int]]:
+    return [(start, min(start + step, hi)) for start in range(lo, hi, step)]

@@ -1,0 +1,203 @@
+"""Semantics-preserving transformations on stencil programs.
+
+Three classic passes, each returning a new program whose outputs are
+numerically identical to the original's:
+
+* :func:`eliminate_dead_stages` — drop stages whose output feeds nothing;
+* :func:`schedule_by_levels` — reorder stages into dependency-level order
+  (a legal reordering: any topological order computes the same values);
+* :func:`inline_stage` — *inlining*: replace every read of a temporary by
+  the producing expression, shifted to the reading offset.
+
+Inlining is the expression-level mirror of the paper's scenario 2: instead
+of materializing (and potentially communicating) an intermediate, its value
+is recomputed at every use site.  Inlining a stage removes its store and
+its halo from the schedule at the cost of duplicating its arithmetic —
+exactly the computation/communication trade-off, pushed into the IR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .expr import Access, Binary, Const, Expr, Offset, Unary, Where
+from .program import StencilProgram
+from .stage import Stage
+from .validate import dependency_levels
+
+__all__ = [
+    "shift_expr",
+    "substitute_field",
+    "eliminate_dead_stages",
+    "schedule_by_levels",
+    "inline_stage",
+    "inline_all_temporaries",
+]
+
+
+def shift_expr(expr: Expr, offset: Offset) -> Expr:
+    """Translate every access in ``expr`` by ``offset``.
+
+    ``shift_expr(e, d)`` evaluated at point *p* equals ``e`` evaluated at
+    ``p + d`` — the substitution rule inlining relies on.
+    """
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Access):
+        moved = tuple(a + b for a, b in zip(expr.offset, offset))
+        return Access(expr.field, moved)  # type: ignore[arg-type]
+    if isinstance(expr, Unary):
+        return Unary(expr.op, shift_expr(expr.operand, offset))
+    if isinstance(expr, Binary):
+        return Binary(
+            expr.op,
+            shift_expr(expr.left, offset),
+            shift_expr(expr.right, offset),
+        )
+    if isinstance(expr, Where):
+        return Where(
+            shift_expr(expr.condition, offset),
+            shift_expr(expr.if_true, offset),
+            shift_expr(expr.if_false, offset),
+        )
+    raise TypeError(f"cannot shift expression node {type(expr).__name__}")
+
+
+def substitute_field(expr: Expr, field: str, replacement: Expr) -> Expr:
+    """Replace every ``Access(field, d)`` with ``shift_expr(replacement, d)``.
+
+    The replacement expression is the producer's per-point definition; an
+    access at offset ``d`` therefore becomes the definition shifted by
+    ``d``.
+    """
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Access):
+        if expr.field == field:
+            return shift_expr(replacement, expr.offset)
+        return expr
+    if isinstance(expr, Unary):
+        return Unary(expr.op, substitute_field(expr.operand, field, replacement))
+    if isinstance(expr, Binary):
+        return Binary(
+            expr.op,
+            substitute_field(expr.left, field, replacement),
+            substitute_field(expr.right, field, replacement),
+        )
+    if isinstance(expr, Where):
+        return Where(
+            substitute_field(expr.condition, field, replacement),
+            substitute_field(expr.if_true, field, replacement),
+            substitute_field(expr.if_false, field, replacement),
+        )
+    raise TypeError(f"cannot substitute in node {type(expr).__name__}")
+
+
+def eliminate_dead_stages(program: StencilProgram) -> StencilProgram:
+    """Remove stages (and their temporaries) that feed no program output.
+
+    Iterates to a fixed point, so chains of dead stages disappear in one
+    call.
+    """
+    stages = list(program.stages)
+    outputs = {f.name for f in program.output_fields}
+    changed = True
+    while changed:
+        changed = False
+        live = set(outputs)
+        for stage in stages:
+            live.update(stage.reads)
+        kept = [
+            stage
+            for stage in stages
+            if stage.output in live
+        ]
+        # A stage is live if *someone else* reads it or it is an output;
+        # self-reads cannot occur (single assignment, no read-before-write).
+        if len(kept) != len(stages):
+            changed = True
+            stages = kept
+            # Recompute liveness without the dropped stages' reads.
+    dead_fields = {s.output for s in program.stages} - {
+        s.output for s in stages
+    }
+    fields = tuple(f for f in program.fields if f.name not in dead_fields)
+    return StencilProgram(program.name, fields, tuple(stages))
+
+
+def schedule_by_levels(program: StencilProgram) -> StencilProgram:
+    """Reorder stages into dependency-level order (stable within levels).
+
+    Any topological order is legal; level order groups independent stages
+    (e.g. MPDATA's three flux sweeps) next to each other, the natural
+    schedule for stage-parallel execution.
+    """
+    order = [
+        index
+        for level in dependency_levels(program)
+        for index in sorted(level)
+    ]
+    stages = tuple(program.stages[index] for index in order)
+    return StencilProgram(program.name, program.fields, stages)
+
+
+def inline_stage(program: StencilProgram, stage_name: str) -> StencilProgram:
+    """Inline one temporary-producing stage into all of its consumers.
+
+    The stage is removed; every consumer's reads of its output are replaced
+    by the producing expression shifted to the read offset.  Outputs are
+    numerically identical (the same sub-expression tree is evaluated at the
+    same points); flops may grow when the temporary was read at several
+    offsets — the explicit price of recomputation.
+    """
+    index = program.stage_index(stage_name)
+    stage = program.stages[index]
+    field = program.field_map[stage.output]
+    if not field.is_temporary:
+        raise ValueError(
+            f"only temporaries can be inlined; {stage.output!r} is "
+            f"{field.role.value}"
+        )
+
+    new_stages = []
+    for other in program.stages:
+        if other.name == stage_name:
+            continue
+        if stage.output in other.reads:
+            new_expr = substitute_field(other.expr, stage.output, stage.expr)
+            new_stages.append(Stage(other.name, other.output, new_expr))
+        else:
+            new_stages.append(other)
+    fields = tuple(f for f in program.fields if f.name != stage.output)
+    return StencilProgram(program.name, fields, tuple(new_stages))
+
+
+def inline_all_temporaries(
+    program: StencilProgram, max_flop_growth: float = float("inf")
+) -> StencilProgram:
+    """Inline temporaries until none remain or the growth budget is hit.
+
+    Greedy: repeatedly inlines the temporary whose inlining grows the
+    program's per-point flops the least, stopping when the total growth
+    factor would exceed ``max_flop_growth``.  With the default (no budget)
+    the result is a single mega-stage per output — the fully-recomputing
+    extreme of the trade-off.
+    """
+    if max_flop_growth < 1.0:
+        raise ValueError("max_flop_growth must be >= 1.0")
+    baseline = max(1, program.flops_per_point)
+    current = program
+    while True:
+        temporaries = [f.name for f in current.temporary_fields]
+        if not temporaries:
+            return current
+        candidates = []
+        for name in temporaries:
+            producer_index = current.producer_of(name)
+            stage = current.stages[producer_index]
+            trial = inline_stage(current, stage.name)
+            candidates.append((trial.flops_per_point, trial))
+        flops, best = min(candidates, key=lambda item: item[0])
+        if flops / baseline > max_flop_growth:
+            return current
+        current = best

@@ -1,0 +1,90 @@
+"""Structural lints and dataflow diagnostics for stencil programs.
+
+Construction of a :class:`~repro.stencil.program.StencilProgram` already
+enforces hard invariants (single assignment, no read-before-write).  This
+module adds softer diagnostics used by tests and by the scheduler: dead
+temporaries, stages that could legally run earlier, and the topological
+levels that bound available stage-parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from .program import StencilProgram
+
+__all__ = ["lint_program", "dependency_levels", "liveness_spans"]
+
+
+def lint_program(program: StencilProgram) -> List[str]:
+    """Return human-readable warnings; an empty list means clean.
+
+    Checks:
+
+    * temporaries produced but never consumed (dead stages),
+    * declared inputs never read,
+    * stages writing fields no later stage or output needs.
+    """
+    warnings: List[str] = []
+    reads: Set[str] = set()
+    for stage in program.stages:
+        reads.update(stage.reads)
+
+    outputs = {f.name for f in program.output_fields}
+    for stage in program.stages:
+        if stage.output not in reads and stage.output not in outputs:
+            warnings.append(
+                f"stage {stage.name!r} produces {stage.output!r}, which is "
+                "never read and is not a program output"
+            )
+    for field in program.input_fields:
+        if field.name not in reads:
+            warnings.append(f"input field {field.name!r} is never read")
+    return warnings
+
+
+def dependency_levels(program: StencilProgram) -> List[List[int]]:
+    """Group stage indices into topological levels.
+
+    Stages within a level have no dataflow between them and could sweep the
+    grid concurrently; consecutive levels are separated by a dependency.
+    MPDATA's three flux stages, for instance, form one level.
+    """
+    producer: Dict[str, int] = {
+        stage.output: index for index, stage in enumerate(program.stages)
+    }
+    level_of: Dict[int, int] = {}
+    for index, stage in enumerate(program.stages):
+        depth = 0
+        for read in stage.reads:
+            dep = producer.get(read)
+            if dep is not None and dep < index:
+                depth = max(depth, level_of[dep] + 1)
+        level_of[index] = depth
+
+    levels: List[List[int]] = []
+    for index in range(len(program.stages)):
+        depth = level_of[index]
+        while len(levels) <= depth:
+            levels.append([])
+        levels[depth].append(index)
+    return levels
+
+
+def liveness_spans(program: StencilProgram) -> Dict[str, Tuple[int, int]]:
+    """For each produced field, the ``(birth, last_use)`` stage indices.
+
+    ``last_use`` is the index of the final stage reading the field, or the
+    birth index itself if (being a program output) it is only written.
+    The spans determine how many temporaries must be cache-resident at once
+    in the (3+1)D decomposition.
+    """
+    spans: Dict[str, Tuple[int, int]] = {}
+    for index, stage in enumerate(program.stages):
+        spans[stage.output] = (index, index)
+    for index, stage in enumerate(program.stages):
+        for read in stage.reads:
+            if read in spans and spans[read][0] < index:
+                birth, _ = spans[read]
+                spans[read] = (birth, index)
+    return spans

@@ -1,0 +1,77 @@
+"""Tests for the first-order energy model."""
+
+import pytest
+
+from repro.analysis import EnergyModel, estimate_energy
+from repro.machine import simulate, sgi_uv2000, uv2000_costs
+from repro.mpdata import mpdata_program
+from repro.sched import build_fused_plan, build_islands_plan, build_original_plan
+
+SHAPE = (1024, 512, 64)
+STEPS = 50
+
+
+@pytest.fixture(scope="module")
+def env():
+    return mpdata_program(), sgi_uv2000(), uv2000_costs()
+
+
+class TestEnergyModel:
+    def test_constant_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(active_watts=50.0, idle_watts=65.0)
+        with pytest.raises(ValueError):
+            EnergyModel(joules_per_byte=-1.0)
+
+    def test_arithmetic(self, env):
+        program, machine, costs = env
+        result = simulate(
+            build_islands_plan(program, SHAPE, STEPS, 14, machine, costs)
+        )
+        model = EnergyModel(active_watts=100.0, idle_watts=50.0)
+        estimate = estimate_energy(result, total_nodes=14, model=model)
+        assert estimate.idle_joules == 0.0  # all 14 nodes busy
+        assert estimate.busy_joules == pytest.approx(
+            100.0 * result.total_seconds * 14
+        )
+        assert "kJ" in str(estimate)
+
+    def test_nodes_used_validated(self, env):
+        program, machine, costs = env
+        result = simulate(
+            build_islands_plan(program, SHAPE, STEPS, 14, machine, costs)
+        )
+        with pytest.raises(ValueError):
+            estimate_energy(result, total_nodes=8)
+
+
+class TestStrategyEnergy:
+    def test_islands_cheapest_at_full_machine(self, env):
+        """Energy tracks time when all nodes are powered: the islands
+        speedup is also an energy win."""
+        program, machine, costs = env
+        energies = {}
+        for name, build in (
+            ("original", build_original_plan),
+            ("fused", build_fused_plan),
+            ("islands", build_islands_plan),
+        ):
+            result = simulate(build(program, SHAPE, STEPS, 14, machine, costs))
+            energies[name] = estimate_energy(result, 14).total_joules
+        assert energies["islands"] < energies["original"] < energies["fused"]
+
+    def test_idle_nodes_penalize_small_runs(self, env):
+        """Running P=2 on a powered 14-node machine burns idle energy: the
+        energy-optimal processor count is larger than the time-optimal
+        reading would suggest."""
+        program, machine, costs = env
+        two = estimate_energy(
+            simulate(build_islands_plan(program, SHAPE, STEPS, 2, machine, costs)),
+            total_nodes=14,
+        )
+        fourteen = estimate_energy(
+            simulate(build_islands_plan(program, SHAPE, STEPS, 14, machine, costs)),
+            total_nodes=14,
+        )
+        assert fourteen.total_joules < two.total_joules
+        assert two.idle_joules > 0.0

@@ -1,0 +1,76 @@
+"""Tests for the timeline/attribution report."""
+
+import pytest
+
+from repro.analysis import timeline_report
+from repro.machine import simulate, sgi_uv2000, uv2000_costs
+from repro.mpdata import mpdata_program
+from repro.sched import build_fused_plan, build_islands_plan, build_original_plan
+
+SHAPE = (1024, 512, 64)
+
+
+@pytest.fixture(scope="module")
+def env():
+    return mpdata_program(), sgi_uv2000(), uv2000_costs()
+
+
+class TestTimelineReport:
+    def test_shares_sum_to_one(self, env):
+        program, machine, costs = env
+        result = simulate(
+            build_original_plan(program, SHAPE, 50, 4, machine, costs)
+        )
+        report = timeline_report(result)
+        assert sum(row.share for row in report.rows) == pytest.approx(1.0)
+        assert sum(s for _, s, _ in report.attribution) == pytest.approx(
+            result.total_seconds
+        )
+
+    def test_rows_sorted_descending(self, env):
+        program, machine, costs = env
+        result = simulate(
+            build_original_plan(program, SHAPE, 50, 4, machine, costs)
+        )
+        totals = [row.total_seconds for row in timeline_report(result).rows]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_fused_at_scale_is_overhead_dominated(self, env):
+        """The paper's diagnosis: pure (3+1)D at P = 14 drowns in per-block
+        hand-offs, not in computation."""
+        program, machine, costs = env
+        result = simulate(
+            build_fused_plan(program, SHAPE, 50, 14, machine, costs)
+        )
+        assert timeline_report(result).dominant_bucket() == "overhead"
+
+    def test_islands_at_scale_is_compute_dominated(self, env):
+        """...while islands put the machine back to work."""
+        program, machine, costs = env
+        result = simulate(
+            build_islands_plan(program, SHAPE, 50, 14, machine, costs)
+        )
+        report = timeline_report(result)
+        assert report.dominant_bucket() == "compute"
+        shares = dict(
+            (bucket, share) for bucket, _, share in report.attribution
+        )
+        assert shares["compute"] > 0.7
+
+    def test_original_is_stream_bound_compute_bucket(self, env):
+        program, machine, costs = env
+        result = simulate(
+            build_original_plan(program, SHAPE, 50, 14, machine, costs)
+        )
+        # Stream sweeps land in the "compute" (busy-node) bucket.
+        assert timeline_report(result).dominant_bucket() == "compute"
+
+    def test_render_contains_bars(self, env):
+        program, machine, costs = env
+        result = simulate(
+            build_fused_plan(program, SHAPE, 50, 8, machine, costs)
+        )
+        text = timeline_report(result).render()
+        assert "timeline:" in text
+        assert "#" in text
+        assert "attribution:" in text

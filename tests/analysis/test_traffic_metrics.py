@@ -1,0 +1,128 @@
+"""Tests for traffic accounting, metrics and reporting."""
+
+import pytest
+
+from repro.analysis import (
+    format_series,
+    format_table,
+    fused_traffic,
+    original_bytes_per_point,
+    original_traffic,
+    relative_error_percent,
+    stage_stream_bytes_per_point,
+)
+from repro.analysis.metrics import (
+    ScalingRow,
+    efficiency_percent,
+    scaling_table,
+    speedup_overall,
+    speedup_partial,
+    sustained_gflops,
+    utilization_percent,
+)
+from repro.stencil import full_box, plan_blocks
+
+
+class TestStageBytes:
+    def test_flux_stage(self, mpdata):
+        # flux_i reads x and u1 (two fields) and writes f1: 3 passes x 8 B.
+        assert stage_stream_bytes_per_point(mpdata, 0) == 24
+
+    def test_write_allocate_adds_output_read(self, mpdata):
+        assert (
+            stage_stream_bytes_per_point(mpdata, 0, write_allocate=True) == 32
+        )
+
+    def test_mpdata_total_matches_known_value(self, mpdata):
+        """The IR-derived 616 B/point/step; the paper's likwid measurement
+        implies ~634 (133 GB over 50 x 256x256x64 points)."""
+        assert original_bytes_per_point(mpdata) == 616
+
+
+class TestTrafficReports:
+    def test_original_reproduces_sect32_measurement(self, mpdata):
+        report = original_traffic(mpdata, full_box((256, 256, 64)), 50)
+        assert report.gigabytes == pytest.approx(133.0, rel=0.05)
+
+    def test_fused_is_much_smaller(self, mpdata):
+        domain = full_box((256, 256, 64))
+        blocks = plan_blocks(mpdata, domain, 25 * 1024 * 1024)
+        fused = fused_traffic(mpdata, blocks, 50)
+        original = original_traffic(mpdata, domain, 50)
+        assert fused.total_bytes < original.total_bytes / 4
+
+    def test_bytes_per_point_step(self, mpdata):
+        domain = full_box((64, 64, 16))
+        report = original_traffic(mpdata, domain, 10)
+        assert report.bytes_per_point_step == pytest.approx(616.0)
+
+    def test_smaller_blocks_more_traffic(self, mpdata):
+        domain = full_box((128, 128, 32))
+        big = fused_traffic(
+            mpdata, plan_blocks(mpdata, domain, 16 * 1024 * 1024), 1
+        )
+        small = fused_traffic(
+            mpdata, plan_blocks(mpdata, domain, 2 * 1024 * 1024), 1
+        )
+        assert small.total_bytes > big.total_bytes
+
+    def test_read_write_split(self, mpdata):
+        report = original_traffic(mpdata, full_box((32, 32, 8)), 1)
+        # 17 stages write one 8-byte field each.
+        assert report.write_bytes == 17 * 8 * 32 * 32 * 8
+        assert report.total_bytes == 616 * 32 * 32 * 8
+
+
+class TestMetrics:
+    def test_speedups(self):
+        assert speedup_partial(10.0, 2.0) == 5.0
+        assert speedup_overall(8.0, 2.0) == 4.0
+
+    def test_sustained(self):
+        assert sustained_gflops(390e9, 1.0) == pytest.approx(390.0)
+        with pytest.raises(ValueError):
+            sustained_gflops(1.0, 0.0)
+
+    def test_utilization(self):
+        assert utilization_percent(390.1, 1478.4) == pytest.approx(26.4, abs=0.1)
+
+    def test_efficiency_matches_paper_definition(self):
+        # P=2: 30.40/15.40/2 = 98.7 %, exactly Table 4's value.
+        assert efficiency_percent(30.40, 15.40, 2) == pytest.approx(98.7, abs=0.05)
+        assert efficiency_percent(30.40, 2.81, 14) == pytest.approx(77.3, abs=0.05)
+
+    def test_scaling_row_derived_columns(self):
+        row = ScalingRow(14, 2.81, 10.40, 1.01, 394e9, 1478.4)
+        assert row.s_pr == pytest.approx(10.3, abs=0.01)
+        assert row.s_ov == pytest.approx(2.78, abs=0.01)
+        assert row.sustained == pytest.approx(390.1, rel=0.01)
+
+    def test_scaling_table_rejects_duplicates(self):
+        row = ScalingRow(2, 1.0, 1.0, 1.0, 1e9, 211.2)
+        with pytest.raises(ValueError, match="duplicate"):
+            scaling_table([row, row])
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        text = format_table("T", ["a", "bb"], [(1, 2.5), (30, 4.25)])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.50" in text and "4.25" in text
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table("T", ["a", "b"], [(1,)])
+
+    def test_format_table_note(self):
+        text = format_table("T", ["a"], [(1,)], note="hello")
+        assert text.endswith("hello")
+
+    def test_format_series(self):
+        text = format_series("S", "P", [1, 2], [("t", [0.5, 0.25])])
+        assert "0.25" in text
+
+    def test_relative_error(self):
+        assert relative_error_percent(11.0, 10.0) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            relative_error_percent(1.0, 0.0)

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpdata import mpdata_program, random_state, upwind_program
+from repro.stencil import (
+    Access,
+    Field,
+    FieldRole,
+    Stage,
+    StencilProgram,
+    full_box,
+)
+
+
+@pytest.fixture(scope="session")
+def mpdata():
+    """The full 17-stage MPDATA program (cached for the session)."""
+    return mpdata_program()
+
+
+@pytest.fixture(scope="session")
+def upwind():
+    """The 4-stage upwind sub-program."""
+    return upwind_program()
+
+
+@pytest.fixture()
+def small_shape():
+    """A grid large enough for MPDATA's halo (>= 2x the depth of 3)."""
+    return (16, 12, 8)
+
+
+@pytest.fixture()
+def small_state(small_shape):
+    """A CFL-stable random MPDATA state on the small grid."""
+    return random_state(small_shape, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def chain_program():
+    """A three-stage 1D chain mirroring Fig. 1 of the paper.
+
+    stage1: a[i] = x[i-1] + x[i+1]
+    stage2: b[i] = a[i-1] + a[i+1]
+    stage3: y[i] = b[i-1] + b[i+1]
+
+    Transitive halo of y on x is exactly 3 per side in i.
+    """
+    stages = (
+        Stage("s1", "a", Access("x", (-1, 0, 0)) + Access("x", (1, 0, 0))),
+        Stage("s2", "b", Access("a", (-1, 0, 0)) + Access("a", (1, 0, 0))),
+        Stage("s3", "y", Access("b", (-1, 0, 0)) + Access("b", (1, 0, 0))),
+    )
+    return StencilProgram.build(
+        "chain3",
+        inputs=(Field("x", FieldRole.INPUT),),
+        stages=stages,
+        outputs=("y",),
+    )
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(99)
+
+
+@pytest.fixture(scope="session")
+def paper_domain():
+    return full_box((1024, 512, 64))

@@ -1,0 +1,149 @@
+"""Tests for island decomposition, affinity placement and the trade-off
+model."""
+
+import pytest
+
+from repro.core import (
+    Variant,
+    chain_placement,
+    crossover_bandwidth,
+    decompose,
+    identity_placement,
+    partition_domain,
+    placement_cost,
+    scenario_costs,
+)
+from repro.machine import sgi_uv2000
+from repro.stencil import full_box
+
+
+class TestDecompose:
+    def test_islands_cover_domain(self, mpdata):
+        domain = full_box((64, 32, 16))
+        decomposition = decompose(mpdata, domain, 4)
+        decomposition.partition.validate()
+        assert decomposition.count == 4
+
+    def test_extra_points_match_redundancy_report(self, mpdata):
+        domain = full_box((64, 32, 16))
+        decomposition = decompose(mpdata, domain, 4)
+        report = decomposition.redundancy()
+        assert sum(i.extra_points for i in decomposition.islands) == (
+            report.extra_points
+        )
+
+    def test_input_boxes_cover_part_plus_halo(self, mpdata):
+        domain = full_box((64, 32, 16))
+        decomposition = decompose(mpdata, domain, 2)
+        island = decomposition.islands[0]
+        x_box = island.input_boxes["x"]
+        assert x_box.contains(island.part)
+        # The halo reaches into the neighbour's slab.
+        assert x_box.hi[0] > island.part.hi[0]
+
+    def test_clip_domain_bounds_the_halo(self, mpdata):
+        domain = full_box((64, 32, 16))
+        decomposition = decompose(mpdata, domain, 2, clip_domain=domain)
+        for island in decomposition.islands:
+            for box in island.input_boxes.values():
+                assert domain.contains(box)
+
+    def test_block_plans_when_cache_given(self, mpdata):
+        domain = full_box((64, 32, 16))
+        decomposition = decompose(
+            mpdata, domain, 2, cache_bytes=2 * 1024 * 1024
+        )
+        for island in decomposition.islands:
+            assert island.blocks is not None
+            island.blocks.validate_partition()
+
+    def test_explicit_partition_must_match_domain(self, mpdata):
+        domain = full_box((64, 32, 16))
+        other = partition_domain(full_box((32, 32, 16)), 2)
+        with pytest.raises(ValueError, match="does not cover"):
+            decompose(mpdata, domain, 2, partition=other)
+
+    def test_max_compute_points(self, mpdata):
+        domain = full_box((64, 32, 16))
+        decomposition = decompose(mpdata, domain, 4)
+        assert decomposition.max_compute_points() == max(
+            i.compute_points for i in decomposition.islands
+        )
+
+
+class TestAffinity:
+    def test_identity(self):
+        assert identity_placement(4) == [0, 1, 2, 3]
+
+    def test_placement_cost_sums_consecutive_distances(self):
+        distances = [[0, 1, 5], [1, 0, 2], [5, 2, 0]]
+        assert placement_cost(distances, [0, 1, 2]) == 3
+        assert placement_cost(distances, [0, 2, 1]) == 7
+
+    def test_chain_placement_prefers_short_hops(self):
+        # Three nodes on a line: 0 -1- 1 -1- 2; distance 0<->2 is 2.
+        distances = [[0, 1, 2], [1, 0, 1], [2, 1, 0]]
+        placement = chain_placement(distances, 3)
+        assert placement_cost(distances, placement) == 2
+
+    def test_uv2000_placement_keeps_blade_pairs_together(self):
+        machine = sgi_uv2000()
+        distances = machine.distance_matrix()
+        placement = chain_placement(distances, 14)
+        assert sorted(placement) == list(range(14))
+        # Blade mates (2b, 2b+1) must be adjacent in the chain.
+        for blade in range(7):
+            a = placement.index(2 * blade)
+            b = placement.index(2 * blade + 1)
+            assert abs(a - b) == 1
+
+    def test_too_many_islands_rejected(self):
+        with pytest.raises(ValueError):
+            chain_placement([[0]], 2)
+
+    def test_single_island(self):
+        assert chain_placement([[0, 1], [1, 0]], 1) == [0]
+
+
+class TestTradeoff:
+    @pytest.fixture()
+    def partition(self, mpdata):
+        return partition_domain(full_box((128, 64, 16)), 4)
+
+    def test_transfer_equals_recompute_bytes(self, mpdata, partition):
+        """The paper's core identity: what scenario 1 communicates is what
+        scenario 2 recomputes."""
+        costs = scenario_costs(
+            mpdata, partition,
+            seconds_per_point=1e-9, link_bandwidth=6.7e9, sync_latency=1e-4,
+        )
+        assert costs.transfer_bytes == costs.extra_points * 8
+        assert costs.sync_points == 17
+
+    def test_slow_link_favours_recompute(self, mpdata, partition):
+        slow = scenario_costs(mpdata, partition, 1e-9, 1e8, 1e-4)
+        assert slow.recompute_wins
+
+    def test_fast_link_favours_communicate(self, mpdata, partition):
+        fast = scenario_costs(mpdata, partition, 1e-9, 1e13, 1e-7)
+        assert not fast.recompute_wins
+
+    def test_crossover_separates_regimes(self, mpdata, partition):
+        crossover = crossover_bandwidth(
+            mpdata, partition, seconds_per_point=1e-9, sync_latency=1e-7
+        )
+        below = scenario_costs(mpdata, partition, 1e-9, crossover / 2, 1e-7)
+        above = scenario_costs(mpdata, partition, 1e-9, crossover * 2, 1e-7)
+        assert below.recompute_wins
+        assert not above.recompute_wins
+
+    def test_crossover_infinite_when_latency_dominates(self, mpdata, partition):
+        # With enormous per-stage sync latency, communication can never win.
+        crossover = crossover_bandwidth(
+            mpdata, partition, seconds_per_point=1e-12, sync_latency=10.0
+        )
+        assert crossover == float("inf")
+
+    def test_invalid_constants_rejected(self, mpdata, partition):
+        with pytest.raises(ValueError):
+            scenario_costs(mpdata, partition, -1.0, 1e9, 1e-4)

@@ -1,0 +1,114 @@
+"""Tests for the strategy optimizer and two-level redundancy analysis."""
+
+import pytest
+
+from repro.core import (
+    StrategyChoice,
+    Variant,
+    grid_factorizations,
+    recommend,
+    two_level_redundancy,
+)
+from repro.machine import sgi_uv2000, uv2000_costs
+from repro.stencil import full_box
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return sgi_uv2000()
+
+
+@pytest.fixture(scope="module")
+def costs():
+    return uv2000_costs()
+
+
+class TestGridFactorizations:
+    def test_excludes_trivial(self):
+        assert (1, 14) not in grid_factorizations(14)
+        assert (14, 1) not in grid_factorizations(14)
+
+    def test_fourteen(self):
+        assert grid_factorizations(14) == [(2, 7), (7, 2)]
+
+    def test_twelve(self):
+        assert grid_factorizations(12) == [(2, 6), (3, 4), (4, 3), (6, 2)]
+
+    def test_prime(self):
+        assert grid_factorizations(13) == []
+
+
+class TestRecommend:
+    def test_islands_wins_on_uv2000(self, mpdata, machine, costs):
+        ranked = recommend(mpdata, (1024, 512, 64), 50, 14, machine, costs)
+        assert ranked[0].label.startswith("islands")
+        assert ranked == sorted(ranked, key=lambda c: c.predicted_seconds)
+
+    def test_covers_all_strategy_families(self, mpdata, machine, costs):
+        ranked = recommend(mpdata, (1024, 512, 64), 50, 8, machine, costs)
+        labels = {choice.label for choice in ranked}
+        assert "original (first touch)" in labels
+        assert "original (serial init)" in labels
+        assert "pure (3+1)D" in labels
+        assert "islands 1D-A" in labels
+        assert "islands 2D 2x4" in labels
+
+    def test_single_processor_ties_fused_and_islands(self, mpdata, machine, costs):
+        ranked = recommend(mpdata, (1024, 512, 64), 50, 1, machine, costs)
+        best = ranked[0]
+        assert best.label in ("islands", "pure (3+1)D")
+
+    def test_infeasible_configs_skipped(self, mpdata, machine, costs):
+        """On a degenerate grid (j = 1) neither 1D-B, 2D grids nor the
+        cache blocker are feasible; the recommender must still rank what
+        remains instead of raising."""
+        ranked = recommend(mpdata, (64, 1, 64), 5, 4, machine, costs)
+        labels = {choice.label for choice in ranked}
+        assert "original (first touch)" in labels
+        assert not any("2D" in label for label in labels)
+        assert "islands 1D-B" not in labels
+
+    def test_invalid_processors(self, mpdata, machine, costs):
+        with pytest.raises(ValueError):
+            recommend(mpdata, (64, 64, 64), 5, 0, machine, costs)
+
+    def test_str_rendering(self):
+        choice = StrategyChoice("x", 1.5, 100.0)
+        assert "1.500 s" in str(choice)
+
+
+class TestTwoLevel:
+    def test_no_inner_split_equals_table2(self, mpdata, paper_domain):
+        result = two_level_redundancy(mpdata, paper_domain, 14, (1, 1))
+        assert result.inner_percent == 0.0
+        assert result.total_percent == pytest.approx(result.outer_percent)
+
+    def test_inner_split_adds_redundancy(self, mpdata, paper_domain):
+        nested = two_level_redundancy(mpdata, paper_domain, 14, (2, 2))
+        assert nested.inner_percent > 0.0
+        assert nested.inner_count == 4
+
+    def test_thin_axis_costs_more(self, mpdata, paper_domain):
+        """i-slabs at 14 islands are ~73 cells; splitting them 8x is far
+        costlier than splitting the 512-cell j axis."""
+        along_i = two_level_redundancy(mpdata, paper_domain, 14, (8, 1))
+        along_j = two_level_redundancy(mpdata, paper_domain, 14, (1, 8))
+        assert along_i.total_percent > 3 * along_j.total_percent
+
+    def test_2d_inner_between_extremes(self, mpdata, paper_domain):
+        i8 = two_level_redundancy(mpdata, paper_domain, 14, (8, 1))
+        mixed = two_level_redundancy(mpdata, paper_domain, 14, (4, 2))
+        j8 = two_level_redundancy(mpdata, paper_domain, 14, (1, 8))
+        assert j8.total_percent < mixed.total_percent < i8.total_percent
+
+    def test_invalid_arguments(self, mpdata, paper_domain):
+        with pytest.raises(ValueError):
+            two_level_redundancy(mpdata, paper_domain, 0, (2, 2))
+        with pytest.raises(ValueError):
+            two_level_redundancy(mpdata, paper_domain, 2, (0, 2))
+
+    def test_max_core_points_bounds_mean(self, mpdata, paper_domain):
+        result = two_level_redundancy(mpdata, paper_domain, 4, (2, 2))
+        total = result.baseline_points * (1 + result.total_percent / 100.0)
+        mean = total / (4 * 4)
+        assert result.max_core_points >= mean * 0.999

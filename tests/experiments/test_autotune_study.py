@@ -1,0 +1,33 @@
+"""Tests for the autotune study."""
+
+import pytest
+
+from repro.experiments import autotune_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return autotune_study.run_autotune_study(
+        shape=(256, 128, 32), steps=10, processors=8
+    )
+
+
+class TestAutotuneStudy:
+    def test_tuned_never_worse_than_heuristic(self, study):
+        assert study.tuned_seconds <= study.heuristic_seconds * (1 + 1e-9)
+
+    def test_ranking_sorted(self, study):
+        times = [seconds for _, seconds in study.top]
+        assert times == sorted(times)
+
+    def test_paper_config_heuristic_is_optimal(self):
+        result = autotune_study.run_autotune_study()
+        assert result.heuristic_is_optimal
+        assert result.tuned_seconds == pytest.approx(
+            result.heuristic_seconds, rel=1e-9
+        )
+
+    def test_render(self, study):
+        text = study.render()
+        assert "Autotune study" in text
+        assert "Verdict" in text

@@ -1,0 +1,62 @@
+"""Regression bands on the full paper-vs-model deviation report.
+
+These are the reproduction's quality gates: if a change to the model or
+the IR pushes any table's deviation past its band, this fails.
+"""
+
+import pytest
+
+from repro.experiments import deviation
+
+
+@pytest.fixture(scope="module")
+def report():
+    return deviation.run()
+
+
+class TestBands:
+    def test_timing_tables_within_8_percent(self, report):
+        for table in ("table1/serial", "table1/first-touch", "table3/islands"):
+            assert report.max_error(table) < 8.0, table
+
+    def test_fused_within_15_percent(self, report):
+        # The paper's fused row is non-monotonic; the model is mechanistic.
+        assert report.max_error("table1/fused") < 15.0
+
+    def test_table2_magnitude_within_16_percent(self, report):
+        # Known stage-split difference: 0.213 vs 0.247 %/cut.
+        assert report.max_error("table2/variant-A") < 16.0
+        assert report.max_error("table2/variant-B") < 16.0
+
+    def test_table4_within_11_percent(self, report):
+        for table in (
+            "table4/sustained", "table4/utilization", "table4/efficiency"
+        ):
+            assert report.max_error(table) < 11.0, table
+
+    def test_traffic_within_5_percent(self, report):
+        assert report.max_error("sect3.2/original-GB") < 5.0
+
+    def test_overall_mean_error_small(self, report):
+        assert report.mean_error() < 7.0
+
+    def test_every_published_cell_compared(self, report):
+        # 3x14 (table1) + 2x13 (table2) + 3x14 (table3) + 3x13 (table4) + 2.
+        assert len(report.cells) == 42 + 26 + 42 + 39 + 2
+
+
+class TestReportApi:
+    def test_by_table_partitions_cells(self, report):
+        grouped = report.by_table()
+        assert sum(len(v) for v in grouped.values()) == len(report.cells)
+
+    def test_worst_cells_sorted(self, report):
+        worst = report.worst_cells(3)
+        errors = [abs(c.error_percent) for c in worst]
+        assert errors == sorted(errors, reverse=True)
+        assert errors[0] == pytest.approx(report.max_error(), abs=1e-9)
+
+    def test_render(self, report):
+        text = report.render()
+        assert "Deviation summary" in text
+        assert "Worst cells" in text

@@ -1,0 +1,35 @@
+"""Tests for the energy study."""
+
+import pytest
+
+from repro.experiments import ExperimentSetup, energy_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return energy_study.run_energy_study(
+        ExperimentSetup.paper(processors=(2, 8, 14))
+    )
+
+
+class TestEnergyStudy:
+    def test_islands_cheapest_at_every_p(self, study):
+        for o, f, i in zip(
+            study.original_kj, study.fused_kj, study.islands_kj
+        ):
+            assert i < min(o, f)
+
+    def test_fused_energy_crossover_mirrors_time(self, study):
+        """Fused is the cheaper baseline at P=2 (it is faster there) but
+        the costlier one at scale — energy follows the time crossover."""
+        assert study.fused_kj[0] < study.original_kj[0]
+        assert study.fused_kj[-1] > study.original_kj[-1]
+
+    def test_energy_optimal_is_full_machine(self, study):
+        assert study.islands_energy_optimal_p() == 14
+
+    def test_small_p_wastes_energy(self, study):
+        assert study.islands_kj[0] > 2.0 * study.islands_kj[-1]
+
+    def test_render(self, study):
+        assert "Energy study" in study.render()

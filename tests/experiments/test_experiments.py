@@ -1,0 +1,195 @@
+"""End-to-end tests on the experiment drivers: every table and figure of
+the paper must regenerate with the right shape and within band of the
+published numbers."""
+
+import math
+
+import pytest
+
+from repro import paperdata
+from repro.core import Variant
+from repro.experiments import (
+    ExperimentSetup,
+    ablations,
+    run_strategies,
+    table1,
+    table2,
+    table3,
+    table4,
+    traffic_claim,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return ExperimentSetup.paper()
+
+
+@pytest.fixture(scope="module")
+def t1(setup):
+    return table1.run(setup)
+
+
+@pytest.fixture(scope="module")
+def t3(setup):
+    return table3.run(setup)
+
+
+@pytest.fixture(scope="module")
+def t4(setup):
+    return table4.run(setup)
+
+
+class TestTable1:
+    def test_within_band(self, t1):
+        assert t1.max_relative_error() < 0.15
+
+    def test_serial_anti_scaling(self, t1):
+        assert t1.serial_model[-1] > 2.5 * t1.serial_model[0]
+
+    def test_fused_wins_only_at_small_p(self, t1):
+        assert t1.fused_model[0] < t1.first_touch_model[0]
+        assert t1.fused_model[13] > t1.first_touch_model[13]
+
+    def test_render_includes_all_rows(self, t1):
+        text = t1.render()
+        assert "Table 1" in text
+        assert text.count("\n") >= 17
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def t2(self):
+        return table2.run()
+
+    def test_zero_at_one_island(self, t2):
+        assert t2.variant_a_model[0] == 0.0
+
+    def test_within_band_of_paper(self, t2):
+        """Magnitude: our per-cut percentage within 35 % of the paper's
+        (stage-split differences); shape: exactly linear, B = 2A."""
+        for ours, paper in zip(t2.variant_a_model[1:], t2.variant_a_paper[1:]):
+            assert ours == pytest.approx(paper, rel=0.35)
+
+    def test_b_doubles_a(self, t2):
+        for a, b in zip(t2.variant_a_model[1:], t2.variant_b_model[1:]):
+            assert b == pytest.approx(2.0 * a, rel=1e-9)
+
+    def test_per_cut_slope(self, t2):
+        assert t2.per_cut_percent(Variant.A) == pytest.approx(0.2126, abs=0.01)
+
+    def test_render(self, t2):
+        assert "Table 2" in t2.render()
+
+
+class TestTable3:
+    def test_crossover_near_paper(self, t3):
+        """Original overtakes pure (3+1)D at P=4 in the paper; the model
+        must reproduce the crossover within one processor."""
+        assert t3.crossover_processors() in (3, 4, 5)
+
+    def test_headline_partial_speedup(self, t3):
+        assert t3.s_pr_model[-1] > 9.0
+
+    def test_overall_speedup_flat_near_2_8(self, t3):
+        for s in t3.s_ov_model[1:]:
+            assert 2.4 < s < 3.2
+
+    def test_islands_fastest_everywhere(self, t3):
+        for orig, fused, isl in zip(
+            t3.original_model, t3.fused_model, t3.islands_model
+        ):
+            tol = 1e-9
+            assert isl <= orig + tol and isl <= fused + tol
+
+    def test_times_within_band(self, t3):
+        for model, paper in (
+            (t3.original_model, t3.original_paper),
+            (t3.islands_model, t3.islands_paper),
+        ):
+            for m, p in zip(model, paper):
+                assert m == pytest.approx(p, rel=0.10)
+
+    def test_renders(self, t3):
+        assert "Table 3" in t3.render()
+        assert "Fig. 2a" in t3.render_fig2a()
+        assert "Fig. 2b" in t3.render_fig2b()
+
+
+class TestTable4:
+    def test_sustained_near_390_at_14(self, t4):
+        assert t4.sustained_model[-1] == pytest.approx(390.1, rel=0.05)
+
+    def test_utilization_band(self, t4):
+        """Paper: ~30 % of peak below 12 processors, dropping to 26 %."""
+        for p, util in zip(t4.processors, t4.utilization_model):
+            if p == 1:
+                assert 35.0 < util < 42.0
+            else:
+                assert 25.0 < util < 33.0
+
+    def test_efficiency_matches_paper_values(self, t4):
+        paper = dict(
+            zip(paperdata.TABLE4_PROCESSORS, paperdata.TABLE4_EFFICIENCY_PERCENT)
+        )
+        for p, eff in zip(t4.processors, t4.efficiency_model):
+            if p in paper:
+                assert eff == pytest.approx(paper[p], abs=4.0)
+
+    def test_theoretical_row_exact(self, t4):
+        paper = dict(
+            zip(paperdata.TABLE4_PROCESSORS, paperdata.TABLE4_THEORETICAL_GFLOPS)
+        )
+        for p, theo in zip(t4.processors, t4.theoretical_gflops):
+            if p in paper:
+                assert theo == pytest.approx(paper[p])
+
+    def test_render_marks_missing_p13(self, t4):
+        assert "Table 4" in t4.render()
+
+
+class TestTrafficClaim:
+    def test_traffic_numbers(self):
+        result = traffic_claim.run()
+        assert result.original_gb_model == pytest.approx(133.0, rel=0.05)
+        assert result.fused_gb_model < result.original_gb_model / 4
+        assert result.speedup_model == pytest.approx(2.8, rel=0.15)
+        assert "Sect. 3.2" in result.render()
+
+
+class TestAblations:
+    def test_variant_a_always_wins(self):
+        result = ablations.run_variant_ablation(
+            ExperimentSetup.paper(processors=(2, 6, 10, 14))
+        )
+        assert result.a_always_wins
+        assert "variant" in result.render().lower()
+
+    def test_bandwidth_crossover_above_numalink(self):
+        """Scenario 2 must win at NUMAlink speed (that is the paper's whole
+        point) and lose for a sufficiently fast interconnect."""
+        result = ablations.run_bandwidth_ablation()
+        numalink_index = result.bandwidths.index(6.7e9)
+        assert (
+            result.recompute_seconds[numalink_index]
+            < result.communicate_seconds[numalink_index]
+        )
+        assert result.crossover > 6.7e9
+        assert math.isfinite(result.crossover)
+
+    def test_cache_sweep_monotonic_traffic(self):
+        result = ablations.run_cache_ablation(budgets_mb=(4, 16, 64))
+        assert result.block_counts[0] > result.block_counts[-1]
+        assert result.traffic_gb[0] >= result.traffic_gb[-1]
+        assert "cache" in result.render().lower()
+
+
+class TestRunStrategies:
+    def test_unknown_strategy_rejected(self, setup):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            run_strategies(setup, ["quantum"])
+
+    def test_reduced_processor_range(self):
+        setup = ExperimentSetup.paper(processors=(1, 14))
+        times = run_strategies(setup, ["islands"])
+        assert len(times["islands"].seconds) == 2

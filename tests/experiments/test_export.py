@@ -1,0 +1,54 @@
+"""Tests for the CSV export."""
+
+import csv
+
+import pytest
+
+from repro.analysis import to_csv
+from repro.experiments.export import export_all
+
+
+class TestToCsv:
+    def test_basic(self):
+        text = to_csv(["a", "b"], [(1, 2.5), ("x,y", 'He said "hi"')])
+        lines = text.splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+        assert lines[2] == '"x,y","He said ""hi"""'
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            to_csv(["a", "b"], [(1,)])
+
+
+class TestExportAll:
+    @pytest.fixture(scope="class")
+    def written(self, tmp_path_factory):
+        return export_all(tmp_path_factory.mktemp("csv"))
+
+    def test_all_files_written(self, written):
+        names = {path.name for path in written}
+        assert names == {
+            "table1.csv", "table2.csv", "table3.csv", "fig2.csv",
+            "table4.csv", "deviation.csv",
+        }
+
+    def test_table3_parses_and_has_14_rows(self, written):
+        path = next(p for p in written if p.name == "table3.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 14
+        assert float(rows[-1]["s_pr_model"]) > 9.0
+
+    def test_table4_blank_paper_cell(self, written):
+        path = next(p for p in written if p.name == "table4.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        p13 = next(r for r in rows if r["P"] == "13")
+        assert p13["sustained_paper"] == ""
+
+    def test_deviation_errors_parse(self, written):
+        path = next(p for p in written if p.name == "deviation.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert all(abs(float(r["error_percent"])) < 20.0 for r in rows)

@@ -1,0 +1,100 @@
+"""Tests for the future-work studies (2D grids, two-level islands,
+cluster projection) and the cluster machine preset."""
+
+import pytest
+
+from repro.experiments import ExperimentSetup, future_work
+from repro.machine import (
+    NUMALINK6_BANDWIDTH,
+    cluster_of_smps,
+    xeon_e5_4627v2,
+)
+
+
+class TestClusterPreset:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        return cluster_of_smps(4, 7, xeon_e5_4627v2())
+
+    def test_node_count(self, cluster):
+        assert cluster.node_count == 56
+        assert cluster.total_cores == 448
+
+    def test_intra_machine_routes_unchanged(self, cluster):
+        assert cluster.path_bandwidth(0, 1) == pytest.approx(25.6e9)
+        assert cluster.path_bandwidth(0, 2) == pytest.approx(
+            NUMALINK6_BANDWIDTH
+        )
+
+    def test_cross_machine_bottleneck(self, cluster):
+        assert cluster.path_bandwidth(0, 14) == pytest.approx(3.0e9)
+        assert cluster.path_bandwidth(13, 55) == pytest.approx(3.0e9)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            cluster_of_smps(0, 7, xeon_e5_4627v2())
+
+
+class TestPartitionStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return future_work.run_partition_study(
+            ExperimentSetup.paper(processors=(8, 14))
+        )
+
+    def test_covers_1d_and_2d(self, study):
+        labels_at_14 = {row[1] for row in study.rows if row[0] == 14}
+        assert labels_at_14 == {"1D-A", "1D-B", "2D 2x7", "2D 7x2"}
+
+    def test_variant_a_beats_b(self, study):
+        by_label = {
+            (row[0], row[1]): row[2] for row in study.rows
+        }
+        assert by_label[(14, "1D-A")] < by_label[(14, "1D-B")]
+
+    def test_2d_7x2_has_less_redundancy_than_1d(self, study):
+        extra = {(row[0], row[1]): row[3] for row in study.rows}
+        assert extra[(14, "2D 7x2")] < extra[(14, "1D-A")]
+
+    def test_best_at_14_is_2d(self, study):
+        assert study.best_label(14).startswith("2D")
+
+    def test_render(self, study):
+        assert "Future work 1" in study.render()
+
+
+class TestTwoLevelStudy:
+    def test_orderings(self):
+        study = future_work.run_two_level_study(
+            shape=(256, 128, 16), outer=4
+        )
+        by_grid = {row[0]: row[3] for row in study.rows}
+        assert by_grid["none"] < by_grid["1x8"] < by_grid["8x1"]
+        assert "Future work 2" in study.render()
+
+
+class TestClusterProjection:
+    @pytest.fixture(scope="class")
+    def projection(self):
+        return future_work.run_cluster_projection(
+            processor_points=(14, 28, 56), shape=(1024, 512, 64), steps=10
+        )
+
+    def test_islands_keep_scaling(self, projection):
+        t = projection.islands_seconds
+        assert t[0] > t[1] > t[2]
+
+    def test_fused_collapses_across_the_cluster_link(self, projection):
+        """The per-block hand-off now crosses a 3 GB/s link: pure (3+1)D
+        must get *worse* with more processors, by a lot."""
+        f = projection.fused_seconds
+        assert f[2] > f[0] > projection.islands_seconds[0]
+
+    def test_efficiency_declines_but_stays_useful(self, projection):
+        eff = projection.islands_efficiency
+        assert eff[0] == pytest.approx(100.0)
+        assert all(a >= b for a, b in zip(eff, eff[1:]))
+        assert eff[-1] > 60.0
+
+    def test_render(self, projection):
+        assert "Future work 3" in projection.render()

@@ -1,0 +1,68 @@
+"""Tests for the generality studies."""
+
+import pytest
+
+from repro.experiments import generality
+
+
+@pytest.fixture(scope="module")
+def study():
+    return generality.run_generality_study(
+        shape=(256, 128, 32), steps=10
+    )
+
+
+class TestGeneralityStudy:
+    def test_covers_gallery_and_mpdata(self, study):
+        names = {row[0] for row in study.rows}
+        assert "mpdata" in names
+        assert {"jacobi7", "star3d", "wave3d", "biharmonic"} <= names
+
+    def test_mpdata_wins_most(self, study):
+        """The 17-stage chain gains more from islands than any
+        shallow kernel."""
+        mpdata_payoff = study.s_pr_of("mpdata")
+        for row in study.rows:
+            if row[0] != "mpdata":
+                assert mpdata_payoff > row[5]
+
+    def test_single_stage_kernels_do_not_benefit(self, study):
+        """Negative control: with no intermediates, islands cannot beat
+        the fused schedule."""
+        for name in ("jacobi7", "heat3d", "wave3d", "star3d"):
+            assert study.s_pr_of(name) < 1.5
+
+    def test_single_stage_kernels_have_zero_redundancy(self, study):
+        extras = {row[0]: row[4] for row in study.rows}
+        assert extras["jacobi7"] == 0.0
+        assert extras["star3d"] == 0.0
+        assert extras["mpdata"] > 0.0
+
+    def test_unknown_application(self, study):
+        with pytest.raises(KeyError):
+            study.s_pr_of("nope")
+
+    def test_render(self, study):
+        text = study.render()
+        assert "Generality" in text
+        assert "negative control" in text
+
+
+class TestDepthStudy:
+    @pytest.fixture(scope="class")
+    def depth(self):
+        return generality.run_depth_study(
+            depths=(1, 2, 4, 8), shape=(256, 128, 32), steps=10
+        )
+
+    def test_redundancy_monotone_in_depth(self, depth):
+        assert list(depth.extra_percent) == sorted(depth.extra_percent)
+
+    def test_payoff_monotone_in_depth(self, depth):
+        assert list(depth.s_pr) == sorted(depth.s_pr)
+
+    def test_depth_one_never_wins(self, depth):
+        assert depth.s_pr[0] < 1.0
+
+    def test_render(self, depth):
+        assert "pipeline depth" in depth.render()

@@ -1,0 +1,99 @@
+"""Tests for the exchange plan and the scenario duel."""
+
+import pytest
+
+from repro.core import Variant
+from repro.experiments import scenario_duel
+from repro.machine import simulate, sgi_uv2000, uv2000_costs
+from repro.sched import build_exchange_plan, build_islands_plan
+
+SHAPE = (1024, 512, 64)
+STEPS = 50
+
+
+@pytest.fixture(scope="module")
+def env():
+    return sgi_uv2000(), uv2000_costs()
+
+
+class TestExchangePlan:
+    def test_one_phase_per_stage_plus_orchestration(self, mpdata, env):
+        machine, costs = env
+        plan = build_exchange_plan(mpdata, SHAPE, STEPS, 4, machine, costs)
+        assert len(plan.phases) == 17 + 1
+        assert all(p.repeat == STEPS for p in plan.phases)
+
+    def test_single_island_has_no_transfers(self, mpdata, env):
+        machine, costs = env
+        plan = build_exchange_plan(mpdata, SHAPE, STEPS, 1, machine, costs)
+        assert all(not phase.transfers for phase in plan.phases)
+
+    def test_transfers_between_neighbours_only(self, mpdata, env):
+        machine, costs = env
+        plan = build_exchange_plan(
+            mpdata, SHAPE, STEPS, 4, machine, costs, placement=[0, 1, 2, 3]
+        )
+        for phase in plan.phases:
+            for transfer in phase.transfers:
+                assert abs(transfer.src - transfer.dst) == 1
+
+    def test_exchange_bytes_match_recompute_points(self, mpdata, env):
+        """The Fig. 1 identity: scenario 1 ships exactly what scenario 2
+        recomputes."""
+        from repro.core import partition_domain, redundancy_report
+
+        machine, costs = env
+        islands = 6
+        plan = build_exchange_plan(
+            mpdata, SHAPE, STEPS, islands, machine, costs
+        )
+        shipped = sum(
+            transfer.bytes
+            for phase in plan.phases
+            for transfer in phase.transfers
+        )
+        from repro.stencil import full_box
+
+        report = redundancy_report(
+            mpdata, partition_domain(full_box(SHAPE), islands, Variant.A)
+        )
+        assert shipped == pytest.approx(report.extra_points * 8)
+
+    def test_flops_exclude_redundancy(self, mpdata, env):
+        machine, costs = env
+        exchange = build_exchange_plan(mpdata, SHAPE, STEPS, 8, machine, costs)
+        recompute = build_islands_plan(mpdata, SHAPE, STEPS, 8, machine, costs)
+        assert exchange.total_flops < recompute.total_flops
+
+    def test_validation(self, mpdata, env):
+        machine, costs = env
+        with pytest.raises(ValueError):
+            build_exchange_plan(mpdata, SHAPE, 0, 4, machine, costs)
+        with pytest.raises(ValueError):
+            build_exchange_plan(
+                mpdata, SHAPE, STEPS, 4, machine, costs, placement=[0]
+            )
+
+
+class TestDuel:
+    @pytest.fixture(scope="class")
+    def duel(self):
+        return scenario_duel.run_scenario_duel(steps=50)
+
+    def test_recompute_wins_on_the_stock_machine(self, duel):
+        """The paper's central claim, at full-application fidelity."""
+        assert duel.stock_machine_winner() == "recompute"
+
+    def test_bandwidth_alone_never_flips_it(self, duel):
+        stock_sync = duel.sync_scales.index(1.0)
+        for link_index in range(len(duel.link_scales)):
+            assert duel.winner(stock_sync, link_index) == "recompute"
+
+    def test_cheap_barriers_eventually_flip_it(self, duel):
+        assert duel.exchange_ever_wins()
+        cheapest = min(range(len(duel.sync_scales)),
+                       key=lambda i: duel.sync_scales[i])
+        assert duel.winner(cheapest, 0) == "exchange"
+
+    def test_render(self, duel):
+        assert "Scenario duel" in duel.render()

@@ -1,0 +1,215 @@
+"""Tests for the cost-model regimes and the phase simulator."""
+
+import pytest
+
+from repro.machine import (
+    ExecutionPlan,
+    Phase,
+    Transfer,
+    simulate,
+    sgi_uv2000,
+    transfer_seconds,
+    uv2000_costs,
+)
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return sgi_uv2000()
+
+
+@pytest.fixture(scope="module")
+def costs():
+    return uv2000_costs()
+
+
+class TestCostModel:
+    def test_stream_seconds(self, costs):
+        assert costs.stream_seconds(costs.stream_bandwidth) == pytest.approx(1.0)
+
+    def test_pool_bandwidth_decays_to_floor(self, costs):
+        assert costs.pool_bandwidth(1) == pytest.approx(costs.stream_bandwidth)
+        assert costs.pool_bandwidth(10**6) == pytest.approx(
+            costs.remote_pool_floor, rel=1e-3
+        )
+        assert costs.pool_bandwidth(2) < costs.pool_bandwidth(1)
+
+    def test_cached_seconds_regimes(self, costs):
+        flops = 1e9
+        assert costs.cached_seconds(flops) < costs.cached_seconds(
+            flops, team=True
+        )
+
+    def test_barrier_grows_logarithmically(self, costs):
+        assert costs.barrier_seconds(1) == 0.0
+        assert costs.barrier_seconds(4) == pytest.approx(
+            2 * costs.barrier_seconds(2)
+        )
+
+    def test_island_step_zero_for_one_node(self, costs):
+        assert costs.island_step_seconds(1) == 0.0
+        assert costs.island_step_seconds(2) > 0.0
+
+    def test_block_overhead_zero_for_one_node(self, costs):
+        assert costs.block_stage_overhead(1, 6.7e9) == 0.0
+        assert costs.block_stage_overhead(4, 6.7e9) > costs.block_stage_overhead(
+            2, 6.7e9
+        )
+
+
+class TestTransferSeconds:
+    def test_no_transfers(self, machine):
+        assert transfer_seconds(machine, []) == 0.0
+
+    def test_self_transfer_free(self, machine):
+        assert transfer_seconds(machine, [Transfer(3, 3, 1e9)]) == 0.0
+
+    def test_single_link_time(self, machine):
+        seconds = transfer_seconds(machine, [Transfer(0, 1, 25.6e9)])
+        assert seconds == pytest.approx(1.0, rel=1e-3)
+
+    def test_shared_link_contention_adds(self, machine):
+        """Two transfers over the same directed link serialize."""
+        one = transfer_seconds(machine, [Transfer(0, 2, 6.7e9)])
+        two = transfer_seconds(
+            machine, [Transfer(0, 2, 6.7e9), Transfer(0, 2, 6.7e9)]
+        )
+        assert two == pytest.approx(2 * one, rel=1e-3)
+
+    def test_opposite_directions_do_not_contend(self, machine):
+        """NUMAlink bandwidth is per direction."""
+        forward = transfer_seconds(machine, [Transfer(0, 2, 6.7e9)])
+        both = transfer_seconds(
+            machine, [Transfer(0, 2, 6.7e9), Transfer(2, 0, 6.7e9)]
+        )
+        assert both == pytest.approx(forward, rel=1e-3)
+
+    def test_disjoint_links_parallel(self, machine):
+        one = transfer_seconds(machine, [Transfer(0, 1, 25.6e9)])
+        both = transfer_seconds(
+            machine, [Transfer(0, 1, 25.6e9), Transfer(2, 3, 25.6e9)]
+        )
+        assert both == pytest.approx(one, rel=1e-3)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            Transfer(0, 1, -5.0)
+
+
+class TestSimulate:
+    def test_phase_takes_busiest_node(self, machine, costs):
+        plan = ExecutionPlan(
+            "t", machine, costs,
+            (Phase("p", {0: 1.0, 1: 3.0}),),
+            nodes_used=2,
+        )
+        result = simulate(plan)
+        assert result.total_seconds == pytest.approx(
+            3.0, abs=costs.barrier_seconds(2)
+        )
+
+    def test_compute_and_transfer_overlap(self, machine, costs):
+        slow_transfer = (Transfer(0, 2, 6.7e9 * 10),)
+        plan = ExecutionPlan(
+            "t", machine, costs,
+            (Phase("p", {0: 1.0}, transfers=slow_transfer),),
+            nodes_used=2,
+        )
+        result = simulate(plan)
+        assert result.total_seconds == pytest.approx(10.0, rel=1e-3)
+
+    def test_repeat_multiplies(self, machine, costs):
+        plan = ExecutionPlan(
+            "t", machine, costs,
+            (Phase("p", {0: 0.5}, repeat=4),),
+            nodes_used=1,
+        )
+        assert simulate(plan).total_seconds == pytest.approx(2.0)
+
+    def test_extra_seconds_added(self, machine, costs):
+        plan = ExecutionPlan(
+            "t", machine, costs,
+            (Phase("p", {0: 1.0}, extra_seconds=0.25),),
+            nodes_used=1,
+        )
+        assert simulate(plan).total_seconds == pytest.approx(1.25)
+
+    def test_barrier_charged_per_phase(self, machine, costs):
+        plan = ExecutionPlan(
+            "t", machine, costs,
+            (Phase("p", {0: 1.0}, barrier_nodes=8, repeat=10),),
+            nodes_used=8,
+        )
+        expected = 10 * (1.0 + costs.barrier_seconds(8))
+        assert simulate(plan).total_seconds == pytest.approx(expected)
+
+    def test_gflops(self, machine, costs):
+        plan = ExecutionPlan(
+            "t", machine, costs,
+            (Phase("p", {0: 2.0}),),
+            nodes_used=1,
+            total_flops=4e9,
+        )
+        assert simulate(plan).gflops == pytest.approx(2.0)
+
+    def test_breakdown_buckets(self, machine, costs):
+        plan = ExecutionPlan(
+            "t", machine, costs,
+            (
+                Phase("a", {0: 1.0}, barrier_nodes=4, extra_seconds=0.5),
+                Phase("b", {0: 0.1}, transfers=(Transfer(0, 2, 6.7e9),)),
+            ),
+            nodes_used=4,
+        )
+        breakdown = simulate(plan).breakdown()
+        assert breakdown["compute"] == pytest.approx(1.0)
+        assert breakdown["transfer"] == pytest.approx(1.0, rel=1e-3)
+        assert breakdown["overhead"] == pytest.approx(0.5)
+        assert breakdown["barrier"] > 0.0
+
+    def test_nodes_used_validated(self, machine, costs):
+        with pytest.raises(ValueError):
+            ExecutionPlan("t", machine, costs, (), nodes_used=20)
+
+
+class TestNodeStats:
+    def test_busy_seconds_accumulate_with_repeat(self, machine, costs):
+        plan = ExecutionPlan(
+            "t", machine, costs,
+            (Phase("p", {0: 1.0, 1: 0.5}, repeat=3),),
+            nodes_used=2,
+        )
+        busy = simulate(plan).node_busy_seconds()
+        assert busy[0] == pytest.approx(3.0)
+        assert busy[1] == pytest.approx(1.5)
+
+    def test_utilization_bounded_by_one(self, machine, costs):
+        plan = ExecutionPlan(
+            "t", machine, costs,
+            (Phase("p", {0: 1.0, 1: 0.25}, barrier_nodes=2),),
+            nodes_used=2,
+        )
+        utilization = simulate(plan).node_utilization()
+        assert 0.99 < utilization[0] <= 1.0
+        assert utilization[1] < 0.3
+
+    def test_load_imbalance(self, machine, costs):
+        plan = ExecutionPlan(
+            "t", machine, costs,
+            (Phase("p", {0: 3.0, 1: 1.0}),),
+            nodes_used=2,
+        )
+        assert simulate(plan).load_imbalance() == pytest.approx(1.5)
+
+    def test_islands_nearly_balanced(self, machine, costs):
+        from repro.mpdata import mpdata_program
+        from repro.sched import build_islands_plan
+
+        result = simulate(
+            build_islands_plan(
+                mpdata_program(), (1024, 512, 64), 50, 14, machine, costs
+            )
+        )
+        # Interior islands recompute halos on both sides, edge islands on
+        # one: a real ~1.3 % imbalance the accounting should expose.
+        assert 1.005 < result.load_imbalance() < 1.05

@@ -1,0 +1,108 @@
+"""Tests for the page-placement model."""
+
+import pytest
+
+from repro.machine import (
+    AccessMatrix,
+    first_touch_matrix,
+    interleaved_matrix,
+    serial_matrix,
+    sgi_uv2000,
+    sweep_phase,
+    uv2000_costs,
+)
+from repro.machine.simulator import ExecutionPlan, simulate
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return sgi_uv2000()
+
+
+@pytest.fixture(scope="module")
+def costs():
+    return uv2000_costs()
+
+
+class TestAccessMatrix:
+    def test_first_touch_identity(self):
+        matrix = first_touch_matrix(3)
+        assert matrix.fractions[1] == (0.0, 1.0, 0.0)
+        assert matrix.owner_load(1) == 1.0
+        assert matrix.remote_accessors_of(1) == 0
+
+    def test_serial_everything_on_node0(self):
+        matrix = serial_matrix(4)
+        assert matrix.owner_load(0) == 4.0
+        assert matrix.owner_load(1) == 0.0
+        assert matrix.remote_accessors_of(0) == 3
+
+    def test_interleaved_uniform(self):
+        matrix = interleaved_matrix(4)
+        assert matrix.owner_load(2) == pytest.approx(1.0)
+        assert matrix.remote_accessors_of(2) == 3
+
+    def test_rows_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            AccessMatrix(((0.5, 0.4), (0.5, 0.5)))
+
+    def test_must_be_square(self):
+        with pytest.raises(ValueError, match="square"):
+            AccessMatrix(((1.0,), (0.0, 1.0)))
+
+
+class TestSweepPhase:
+    def _seconds(self, phase, machine, costs, nodes):
+        plan = ExecutionPlan("t", machine, costs, (phase,), nodes_used=nodes)
+        return simulate(plan).total_seconds
+
+    def test_first_touch_uses_full_stream_bandwidth(self, machine, costs):
+        total = costs.stream_bandwidth * 4  # one second per node at P=4
+        phase = sweep_phase("s", total, first_touch_matrix(4), machine, costs)
+        assert max(phase.node_seconds.values()) == pytest.approx(1.0)
+
+    def test_serial_matches_pool_model(self, machine, costs):
+        total = 1e10
+        phase = sweep_phase("s", total, serial_matrix(8), machine, costs)
+        assert phase.node_seconds[0] == pytest.approx(
+            costs.pool_seconds(total, 8)
+        )
+        assert 1 not in phase.node_seconds  # other controllers idle
+
+    def test_interleaved_between_extremes(self, machine, costs):
+        total = 1e11
+        nodes = 8
+        ft = self._seconds(
+            sweep_phase("s", total, first_touch_matrix(nodes), machine, costs),
+            machine, costs, nodes,
+        )
+        inter = self._seconds(
+            sweep_phase("s", total, interleaved_matrix(nodes), machine, costs),
+            machine, costs, nodes,
+        )
+        serial = self._seconds(
+            sweep_phase("s", total, serial_matrix(nodes), machine, costs),
+            machine, costs, nodes,
+        )
+        assert ft < inter < serial
+
+    def test_matrix_must_fit_machine(self, machine, costs):
+        with pytest.raises(ValueError, match="machine has"):
+            sweep_phase("s", 1e9, serial_matrix(20), machine, costs)
+
+
+class TestPlacementAblation:
+    def test_ordering_at_every_p(self):
+        from repro.experiments.ablations import run_placement_ablation
+        from repro.experiments import ExperimentSetup
+
+        result = run_placement_ablation(
+            ExperimentSetup.paper(processors=(2, 8, 14))
+        )
+        for ft, inter, serial in zip(
+            result.first_touch_seconds,
+            result.interleaved_seconds,
+            result.serial_seconds,
+        ):
+            assert ft < inter < serial
+        assert "page-placement" in result.render()

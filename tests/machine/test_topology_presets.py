@@ -1,0 +1,101 @@
+"""Tests for machine topology and presets."""
+
+import pytest
+
+from repro.machine import (
+    INTRA_BLADE_BANDWIDTH,
+    Link,
+    MachineSpec,
+    NUMALINK6_BANDWIDTH,
+    blade_machine,
+    sgi_uv2000,
+    uniform_smp,
+    xeon_e5_2660v2,
+    xeon_e5_4627v2,
+)
+
+
+class TestNodeSpec:
+    def test_uv2000_node_peak_matches_paper(self):
+        # 8 cores x 3.3 GHz x 4 DP flops = 105.6 Gflop/s (Table 4).
+        assert xeon_e5_4627v2().peak_flops == pytest.approx(105.6e9)
+
+    def test_e5_2660v2_l3(self):
+        assert xeon_e5_2660v2().l3_bytes == 25 * 1024 * 1024
+
+
+class TestUv2000:
+    @pytest.fixture(scope="class")
+    def machine(self):
+        return sgi_uv2000()
+
+    def test_fourteen_nodes_112_cores(self, machine):
+        assert machine.node_count == 14
+        assert machine.total_cores == 112
+
+    def test_peak_flops_row(self, machine):
+        # Table 4's theoretical-performance row.
+        assert machine.peak_flops(1) == pytest.approx(105.6e9)
+        assert machine.peak_flops(14) == pytest.approx(1478.4e9)
+        with pytest.raises(ValueError):
+            machine.peak_flops(15)
+
+    def test_blade_mates_use_fast_link(self, machine):
+        assert machine.path_bandwidth(0, 1) == INTRA_BLADE_BANDWIDTH
+
+    def test_cross_blade_bottleneck_is_numalink(self, machine):
+        assert machine.path_bandwidth(0, 2) == NUMALINK6_BANDWIDTH
+        assert machine.path_bandwidth(1, 3) == NUMALINK6_BANDWIDTH
+
+    def test_route_between_odd_nodes_crosses_three_links(self, machine):
+        # odd -> its even hub -> other blade's hub -> odd
+        assert len(machine.route(1, 3)) == 3
+        assert len(machine.route(0, 2)) == 1
+        assert machine.route(5, 5) == []
+
+    def test_distance_matrix_symmetric(self, machine):
+        matrix = machine.distance_matrix()
+        for a in range(14):
+            assert matrix[a][a] == 0.0
+            for b in range(14):
+                assert matrix[a][b] == pytest.approx(matrix[b][a])
+
+    def test_blade_mates_closer_than_cross_blade(self, machine):
+        matrix = machine.distance_matrix()
+        assert matrix[0][1] < matrix[0][2] < matrix[1][3]
+
+
+class TestValidation:
+    def test_disconnected_graph_rejected(self):
+        node = xeon_e5_4627v2()
+        with pytest.raises(ValueError, match="not connected"):
+            MachineSpec("bad", node, 3, (Link(0, 1, 1e9, 1e-6),))
+
+    def test_link_endpoint_out_of_range(self):
+        node = xeon_e5_4627v2()
+        with pytest.raises(ValueError, match="out of range"):
+            MachineSpec("bad", node, 2, (Link(0, 5, 1e9, 1e-6),))
+
+    def test_link_other(self):
+        link = Link(2, 5, 1e9, 1e-6)
+        assert link.other(2) == 5
+        assert link.other(5) == 2
+        with pytest.raises(ValueError):
+            link.other(3)
+
+    def test_blade_machine_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            blade_machine(0, xeon_e5_4627v2())
+
+
+class TestUniformSmp:
+    def test_single_node_has_no_links(self):
+        machine = uniform_smp(1, xeon_e5_4627v2())
+        assert machine.links == ()
+
+    def test_all_pairs_one_hop(self):
+        machine = uniform_smp(4, xeon_e5_4627v2(), bandwidth=10e9)
+        for a in range(4):
+            for b in range(a + 1, 4):
+                assert len(machine.route(a, b)) == 1
+                assert machine.path_bandwidth(a, b) == 10e9

@@ -1,0 +1,72 @@
+"""Tests for ghost-cell extension and boundary filling."""
+
+import numpy as np
+import pytest
+
+from repro.mpdata import extend_array, extended_box, fill_ghosts
+from repro.stencil import Box
+
+
+@pytest.fixture()
+def interior():
+    rng = np.random.default_rng(0)
+    return rng.random((5, 4, 3))
+
+
+class TestExtendedBox:
+    def test_anchoring(self):
+        box = extended_box((4, 4, 4), (1, 2, 0), (3, 0, 1))
+        assert box == Box((-1, -2, 0), (7, 4, 5))
+
+
+class TestPeriodic:
+    def test_wraps_each_axis(self, interior):
+        region = extend_array(interior, (2, 1, 1), (2, 1, 1), "periodic")
+        data = region.data
+        np.testing.assert_array_equal(data[0:2, 1:5, 1:4], interior[3:5])
+        np.testing.assert_array_equal(data[7:9, 1:5, 1:4], interior[0:2])
+        np.testing.assert_array_equal(data[2:7, 0, 1:4], interior[:, 3, :])
+        np.testing.assert_array_equal(data[2:7, 5, 1:4], interior[:, 0, :])
+
+    def test_corners_consistent(self, interior):
+        """Corner ghosts must equal the doubly-wrapped interior values."""
+        region = extend_array(interior, (1, 1, 1), (1, 1, 1), "periodic")
+        data = region.data
+        assert data[0, 0, 0] == interior[-1, -1, -1]
+        assert data[-1, -1, -1] == interior[0, 0, 0]
+        assert data[0, -1, 0] == interior[-1, 0, -1]
+
+    def test_matches_np_pad_wrap(self, interior):
+        region = extend_array(interior, (2, 2, 1), (2, 2, 1), "periodic")
+        expected = np.pad(interior, ((2, 2), (2, 2), (1, 1)), mode="wrap")
+        np.testing.assert_array_equal(region.data, expected)
+
+    def test_ghost_wider_than_interior_rejected(self):
+        with pytest.raises(ValueError, match="periodic"):
+            extend_array(np.zeros((2, 4, 4)), (3, 0, 0), (0, 0, 0), "periodic")
+
+
+class TestOpen:
+    def test_matches_np_pad_edge(self, interior):
+        region = extend_array(interior, (2, 1, 2), (1, 2, 1), "open")
+        expected = np.pad(interior, ((2, 1), (1, 2), (2, 1)), mode="edge")
+        np.testing.assert_array_equal(region.data, expected)
+
+
+class TestErrors:
+    def test_unknown_mode_rejected(self, interior):
+        with pytest.raises(ValueError, match="unknown boundary"):
+            extend_array(interior, (1, 1, 1), (1, 1, 1), "reflect")
+
+    def test_fill_ghosts_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown boundary"):
+            fill_ghosts(np.zeros((4, 4, 4)), (1, 1, 1), (1, 1, 1), "huh")
+
+    def test_no_interior_rejected(self):
+        with pytest.raises(ValueError, match="no interior"):
+            fill_ghosts(np.zeros((2, 4, 4)), (1, 0, 0), (1, 0, 0), "open")
+
+    def test_region_anchor(self, interior):
+        region = extend_array(interior, (1, 2, 3), (0, 0, 0), "open")
+        assert region.box.lo == (-1, -2, -3)
+        assert region.box.hi == (5, 4, 3)

@@ -1,0 +1,88 @@
+"""Tests for the exact CFL stability analysis."""
+
+import numpy as np
+import pytest
+
+from repro.mpdata import (
+    MpdataState,
+    check_cfl,
+    random_state,
+    reference_run,
+    safe_courant_scale,
+    uniform_velocity,
+)
+
+SHAPE = (12, 10, 8)
+
+
+class TestCheckCfl:
+    def test_random_states_are_stable_by_construction(self):
+        report = check_cfl(random_state(SHAPE, seed=1))
+        assert report.stable
+        assert report.violating_cells == 0
+
+    def test_uniform_translation_ratio_exact(self):
+        u1, u2, u3 = uniform_velocity(SHAPE, (0.3, 0.0, 0.0))
+        state = MpdataState(
+            np.ones(SHAPE), u1, u2, u3, np.ones(SHAPE)
+        )
+        report = check_cfl(state)
+        # Uniform positive u1: one outgoing face per cell at C = 0.3.
+        assert report.worst_ratio == pytest.approx(0.3)
+
+    def test_divergent_flow_counts_both_faces(self):
+        """A cell with outflow through opposite faces pays for both."""
+        u1 = np.zeros(SHAPE)
+        u1[5, :, :] = -0.3  # lower face of cell 5 flows out (down)
+        u1[6, :, :] = 0.4  # upper face of cell 5 flows out (up)
+        state = MpdataState(
+            np.ones(SHAPE), u1, np.zeros(SHAPE), np.zeros(SHAPE),
+            np.ones(SHAPE),
+        )
+        report = check_cfl(state)
+        assert report.worst_ratio == pytest.approx(0.7)
+        assert report.worst_cell[0] == 5
+
+    def test_low_density_tightens_the_bound(self):
+        u1, u2, u3 = uniform_velocity(SHAPE, (0.3, 0.0, 0.0))
+        h = np.ones(SHAPE)
+        h[3, 3, 3] = 0.5
+        state = MpdataState(np.ones(SHAPE), u1, u2, u3, h)
+        assert check_cfl(state).worst_ratio == pytest.approx(0.6)
+
+    def test_violation_detected_and_predicts_blowup(self):
+        u1, u2, u3 = uniform_velocity(SHAPE, (0.45, 0.45, 0.45))
+        h = np.full(SHAPE, 0.8)
+        rng = np.random.default_rng(0)
+        state = MpdataState(rng.random(SHAPE), u1, u2, u3, h)
+        report = check_cfl(state)
+        assert not report.stable
+        assert "UNSTABLE" in str(report)
+        # And indeed the scheme loses positivity on such a state.
+        out = reference_run(state, 5)
+        assert out.min() < 0.0 or not np.isfinite(out).all()
+
+
+class TestSafeScale:
+    def test_scaling_restores_stability(self):
+        u1, u2, u3 = uniform_velocity(SHAPE, (0.45, 0.45, 0.45))
+        state = MpdataState(
+            np.ones(SHAPE), u1, u2, u3, np.full(SHAPE, 0.8)
+        )
+        scale = safe_courant_scale(state)
+        assert scale < 1.0
+        rescaled = MpdataState(
+            state.x, scale * u1, scale * u2, scale * u3, state.h
+        )
+        assert check_cfl(rescaled).stable
+
+    def test_zero_velocity_unbounded(self):
+        state = MpdataState(
+            np.ones(SHAPE), np.zeros(SHAPE), np.zeros(SHAPE),
+            np.zeros(SHAPE), np.ones(SHAPE),
+        )
+        assert safe_courant_scale(state) == float("inf")
+
+    def test_margin_validation(self):
+        with pytest.raises(ValueError):
+            safe_courant_scale(random_state(SHAPE, seed=2), margin=1.5)

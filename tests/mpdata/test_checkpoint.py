@@ -1,0 +1,86 @@
+"""Tests for run checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.mpdata import (
+    Checkpoint,
+    MpdataSolver,
+    MpdataState,
+    load_checkpoint,
+    random_state,
+    save_checkpoint,
+)
+
+SHAPE = (12, 10, 8)
+
+
+class TestRoundTrip:
+    def test_arrays_bit_exact(self, tmp_path):
+        state = random_state(SHAPE, seed=3)
+        path = save_checkpoint(tmp_path / "run", state, step=17)
+        restored = load_checkpoint(path)
+        assert restored.step == 17
+        for name in ("x", "u1", "u2", "u3", "h"):
+            np.testing.assert_array_equal(
+                getattr(restored.state, name), getattr(state, name)
+            )
+
+    def test_metadata_preserved(self, tmp_path):
+        state = random_state(SHAPE, seed=4)
+        path = save_checkpoint(
+            tmp_path / "run.npz", state, step=5,
+            metadata={"experiment": "table3", "variant": "A"},
+        )
+        restored = load_checkpoint(path)
+        assert restored.metadata == {"experiment": "table3", "variant": "A"}
+
+    def test_suffix_appended(self, tmp_path):
+        state = random_state(SHAPE, seed=5)
+        path = save_checkpoint(tmp_path / "plain", state, step=0)
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_split_run_equals_unbroken_run(self, tmp_path):
+        """Resume is exact: 3 + 3 steps through a checkpoint equals 6."""
+        state = random_state(SHAPE, seed=6)
+        solver = MpdataSolver(SHAPE)
+        unbroken = solver.run(state, 6)
+
+        first_half = solver.run(state, 3)
+        path = save_checkpoint(
+            tmp_path / "half",
+            MpdataState(first_half, state.u1, state.u2, state.u3, state.h),
+            step=3,
+        )
+        restored = load_checkpoint(path)
+        resumed = solver.run(restored.state, 3)
+        np.testing.assert_array_equal(resumed, unbroken)
+
+
+class TestValidation:
+    def test_negative_step_rejected(self):
+        with pytest.raises(ValueError):
+            Checkpoint(random_state(SHAPE, seed=7), step=-1, metadata={})
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.npz"
+        np.savez(bogus, something=np.zeros(3))
+        with pytest.raises(ValueError, match="not an MPDATA checkpoint"):
+            load_checkpoint(bogus)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        import json
+
+        state = random_state(SHAPE, seed=8)
+        path = tmp_path / "old.npz"
+        header = json.dumps(
+            {"format_version": 99, "step": 0, "metadata": {}}
+        )
+        np.savez(
+            path,
+            header=np.frombuffer(header.encode(), dtype=np.uint8),
+            x=state.x, u1=state.u1, u2=state.u2, u3=state.u3, h=state.h,
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(path)

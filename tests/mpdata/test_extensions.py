@@ -1,0 +1,109 @@
+"""Tests for the composed advection+physics programs."""
+
+import numpy as np
+import pytest
+
+from repro.core import Variant
+from repro.mpdata import (
+    MpdataSolver,
+    advection_decay_program,
+    advection_diffusion_program,
+    mpdata_program,
+    random_state,
+    reference_step,
+)
+from repro.runtime import MpdataIslandSolver
+from repro.stencil import lint_program, program_halo_depth
+
+SHAPE = (14, 12, 8)
+
+
+@pytest.fixture()
+def state():
+    return random_state(SHAPE, seed=77)
+
+
+class TestStructure:
+    def test_diffusion_adds_one_stage(self):
+        base = mpdata_program()
+        composed = advection_diffusion_program()
+        assert len(composed.stages) == len(base.stages) + 1
+        assert lint_program(composed) == []
+
+    def test_diffusion_deepens_halo_by_one(self):
+        base_lo, base_hi = program_halo_depth(mpdata_program())
+        lo, hi = program_halo_depth(advection_diffusion_program())
+        assert lo == tuple(b + 1 for b in base_lo)
+        assert hi == tuple(b + 1 for b in base_hi)
+
+    def test_decay_adds_no_halo(self):
+        base = program_halo_depth(mpdata_program())
+        composed = program_halo_depth(advection_decay_program())
+        assert composed == base
+
+    def test_nu_validation(self):
+        with pytest.raises(ValueError):
+            advection_diffusion_program(nu=0.3)
+        with pytest.raises(ValueError):
+            advection_diffusion_program(nu=-0.01)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            advection_decay_program(rate=1.0)
+
+    def test_variants_compose(self):
+        composed = advection_diffusion_program(nu=0.02, iord=3, nonosc=False)
+        assert len(composed.stages) == 12 + 1
+
+
+class TestNumerics:
+    def test_diffusion_conserves_weighted_mass(self, state):
+        solver = MpdataSolver(SHAPE, program=advection_diffusion_program())
+        out = solver.run(state, 3)
+        np.testing.assert_allclose(
+            (state.h * out).sum(), (state.h * state.x).sum(), rtol=1e-12
+        )
+
+    def test_diffusion_smooths(self, state):
+        plain = MpdataSolver(SHAPE).run(state, 3)
+        diffused = MpdataSolver(
+            SHAPE, program=advection_diffusion_program(nu=0.1)
+        ).run(state, 3)
+        assert diffused.var() < plain.var()
+
+    def test_zero_nu_equals_plain_mpdata(self, state):
+        plain = MpdataSolver(SHAPE).step(state)
+        composed = MpdataSolver(
+            SHAPE, program=advection_diffusion_program(nu=0.0)
+        ).step(state)
+        np.testing.assert_allclose(composed, plain, atol=1e-14)
+
+    def test_decay_scales_the_step(self, state):
+        out = MpdataSolver(
+            SHAPE, program=advection_decay_program(rate=0.25)
+        ).step(state)
+        np.testing.assert_allclose(
+            out, 0.75 * reference_step(state), atol=1e-13
+        )
+
+    def test_islands_bit_exact_for_composites(self, state):
+        for program in (
+            advection_diffusion_program(),
+            advection_decay_program(),
+        ):
+            whole = MpdataSolver(SHAPE, program=program).step(state)
+            split = MpdataIslandSolver(
+                SHAPE, 3, variant=Variant.B, program=program
+            ).step(state)
+            np.testing.assert_array_equal(whole, split)
+
+    def test_diffusion_raises_redundancy(self):
+        """One extra halo layer means more extra elements per cut."""
+        from repro.core import partition_domain, redundancy_report
+        from repro.stencil import full_box
+
+        domain = full_box((128, 64, 16))
+        partition = partition_domain(domain, 2, Variant.A)
+        base = redundancy_report(mpdata_program(), partition)
+        composed = redundancy_report(advection_diffusion_program(), partition)
+        assert composed.extra_points > base.extra_points

@@ -1,0 +1,79 @@
+"""Cross-validation: the IR-interpreted MPDATA against the independent
+NumPy reference.
+
+The two implementations share no code — the IR path goes through expression
+trees, halo plans and ghost cells; the reference uses ``np.roll``.  Their
+agreement to round-off validates the IR definitions that every halo count
+and flop number in the reproduction is derived from.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpdata import (
+    MpdataSolver,
+    MpdataState,
+    random_state,
+    reference_run,
+    reference_step,
+    reference_upwind_step,
+    rotation_state,
+    translation_state,
+    upwind_program,
+)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("shape", [(12, 10, 8), (16, 8, 8), (9, 14, 7)])
+def test_single_step_matches(seed, shape):
+    state = random_state(shape, seed=seed)
+    solver = MpdataSolver(shape)
+    np.testing.assert_allclose(
+        solver.step(state), reference_step(state), rtol=0, atol=1e-14
+    )
+
+
+def test_multi_step_matches():
+    shape = (14, 12, 8)
+    state = random_state(shape, seed=11)
+    solver = MpdataSolver(shape)
+    np.testing.assert_allclose(
+        solver.run(state, 6), reference_run(state, 6), rtol=0, atol=1e-12
+    )
+
+
+def test_upwind_subprogram_matches():
+    shape = (12, 12, 8)
+    state = random_state(shape, seed=12)
+    solver = MpdataSolver(shape, program=upwind_program())
+    np.testing.assert_allclose(
+        solver.step(state), reference_upwind_step(state), rtol=0, atol=1e-15
+    )
+
+
+def test_translation_workload_matches():
+    shape = (24, 12, 8)
+    state = translation_state(shape)
+    solver = MpdataSolver(shape)
+    np.testing.assert_allclose(
+        solver.run(state, 4), reference_run(state, 4), rtol=0, atol=1e-13
+    )
+
+
+def test_rotation_workload_matches():
+    state = rotation_state((16, 16, 4), omega=0.02)
+    solver = MpdataSolver((16, 16, 4))
+    np.testing.assert_allclose(
+        solver.run(state, 3), reference_run(state, 3), rtol=0, atol=1e-13
+    )
+
+
+def test_ir_solver_conserves_and_stays_positive():
+    shape = (16, 12, 8)
+    state = random_state(shape, seed=13)
+    solver = MpdataSolver(shape)
+    out = solver.run(state, 5)
+    assert out.min() >= 0.0
+    assert np.isclose(
+        (state.h * out).sum(), (state.h * state.x).sum(), rtol=1e-12
+    )

@@ -1,0 +1,115 @@
+"""Tests for the solver driver and workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.mpdata import (
+    GhostSpec,
+    MpdataSolver,
+    MpdataState,
+    cone,
+    gaussian_blob,
+    max_courant,
+    mpdata_program,
+    random_state,
+    rotation_velocity,
+    translation_state,
+    uniform_velocity,
+    upwind_program,
+)
+
+
+class TestGhostSpec:
+    def test_mpdata_ghosts(self):
+        spec = GhostSpec.for_program(mpdata_program(), (32, 32, 16))
+        assert spec.lo == (3, 3, 3)
+        assert spec.hi == (3, 3, 3)
+
+    def test_upwind_ghosts(self):
+        spec = GhostSpec.for_program(upwind_program(), (16, 16, 8))
+        assert spec.lo == (1, 1, 1)
+        assert spec.hi == (1, 1, 1)
+
+
+class TestSolver:
+    def test_grid_smaller_than_halo_rejected(self):
+        with pytest.raises(ValueError, match="halo"):
+            MpdataSolver((2, 16, 16))
+
+    def test_shape_mismatch_rejected(self):
+        solver = MpdataSolver((8, 8, 8))
+        state = random_state((10, 8, 8), seed=0)
+        with pytest.raises(ValueError, match="expects"):
+            solver.step(state)
+
+    def test_negative_steps_rejected(self):
+        solver = MpdataSolver((8, 8, 8))
+        with pytest.raises(ValueError):
+            solver.run(random_state((8, 8, 8), seed=0), -2)
+
+    def test_open_boundary_runs(self):
+        shape = (12, 10, 8)
+        solver = MpdataSolver(shape, boundary="open")
+        out = solver.run(random_state(shape, seed=1), 3)
+        assert out.shape == shape
+        assert np.isfinite(out).all()
+        assert out.min() >= 0.0
+
+    def test_open_boundary_differs_from_periodic(self):
+        shape = (12, 10, 8)
+        state = translation_state(shape, courant=(0.3, 0.0, 0.0), sigma=2.0)
+        periodic = MpdataSolver(shape).run(state, 5)
+        open_bc = MpdataSolver(shape, boundary="open").run(state, 5)
+        assert not np.array_equal(periodic, open_bc)
+
+
+class TestGenerators:
+    def test_gaussian_blob_peak_at_centre(self):
+        blob = gaussian_blob((16, 16, 16), sigma=2.0)
+        assert blob.max() == blob[8, 8, 8]
+        assert blob.min() >= 0.0
+
+    def test_cone_support_radius(self):
+        field = cone((32, 32, 8), centre=(16, 16, 4), radius=5.0, height=2.0)
+        assert field.max() <= 2.0
+        assert field[0, 0, 0] == 0.0
+
+    def test_uniform_velocity_values(self):
+        u1, u2, u3 = uniform_velocity((4, 4, 4), (0.1, -0.2, 0.3))
+        assert np.all(u1 == 0.1) and np.all(u2 == -0.2) and np.all(u3 == 0.3)
+
+    def test_rotation_velocity_divergence_free(self):
+        """Discrete divergence of the face velocities vanishes cell-wise."""
+        u1, u2, u3 = rotation_velocity((16, 16, 4), omega=0.05)
+        div = (
+            np.roll(u1, -1, axis=0) - u1
+            + np.roll(u2, -1, axis=1) - u2
+            + np.roll(u3, -1, axis=2) - u3
+        )
+        np.testing.assert_allclose(div, 0.0, atol=1e-12)
+
+    def test_max_courant(self):
+        u1, u2, u3 = uniform_velocity((4, 4, 4), (0.1, -0.4, 0.2))
+        assert max_courant(u1, u2, u3) == pytest.approx(0.4)
+
+    def test_random_state_is_cfl_safe(self):
+        state = random_state((8, 8, 8), seed=42)
+        c = max_courant(state.u1, state.u2, state.u3)
+        assert 6.0 * c < state.h.min()
+
+    def test_random_state_reproducible(self):
+        a = random_state((6, 6, 6), seed=7)
+        b = random_state((6, 6, 6), seed=7)
+        np.testing.assert_array_equal(a.x, b.x)
+        np.testing.assert_array_equal(a.u2, b.u2)
+
+    def test_validate_catches_shape_mismatch(self):
+        state = MpdataState(
+            np.zeros((4, 4, 4)),
+            np.zeros((4, 4, 4)),
+            np.zeros((4, 4, 3)),
+            np.zeros((4, 4, 4)),
+            np.ones((4, 4, 4)),
+        )
+        with pytest.raises(ValueError, match="u2"):
+            state.validate()

@@ -1,0 +1,110 @@
+"""Tests for the absorbing-layer (sponge) composition."""
+
+import numpy as np
+import pytest
+
+from repro.mpdata import (
+    MpdataSolver,
+    advection_sponge_program,
+    gaussian_blob,
+    mpdata_program,
+    random_state,
+    sponge_coefficient,
+    uniform_velocity,
+)
+from repro.runtime import PartitionedRunner
+from repro.stencil import lint_program, program_halo_depth
+
+SHAPE = (32, 12, 8)
+
+
+def _arrays(state, tau, x_ref):
+    return {
+        "x": state.x, "u1": state.u1, "u2": state.u2, "u3": state.u3,
+        "h": state.h, "tau": tau, "x_ref": x_ref,
+    }
+
+
+class TestSpongeCoefficient:
+    def test_interior_is_exactly_zero(self):
+        tau = sponge_coefficient(SHAPE, width=6, strength=0.4)
+        assert tau[6:-6].max() == 0.0
+
+    def test_boundary_reaches_strength(self):
+        tau = sponge_coefficient(SHAPE, width=6, strength=0.4)
+        assert tau[0].max() == pytest.approx(0.4)
+        assert tau[-1].max() == pytest.approx(0.4)
+
+    def test_monotone_ramp(self):
+        tau = sponge_coefficient(SHAPE, width=6, strength=0.4)
+        edge = tau[:6, 0, 0]
+        assert all(a >= b for a, b in zip(edge, edge[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sponge_coefficient(SHAPE, width=0)
+        with pytest.raises(ValueError):
+            sponge_coefficient(SHAPE, width=20)  # zones would overlap
+        with pytest.raises(ValueError):
+            sponge_coefficient(SHAPE, width=4, strength=1.5)
+
+
+class TestSpongeProgram:
+    def test_structure(self):
+        program = advection_sponge_program()
+        assert len(program.stages) == 18
+        assert lint_program(program) == []
+        inputs = {f.name for f in program.input_fields}
+        assert {"tau", "x_ref"} <= inputs
+
+    def test_sponge_adds_no_halo(self):
+        assert program_halo_depth(advection_sponge_program()) == (
+            program_halo_depth(mpdata_program())
+        )
+
+    def test_zero_tau_equals_plain_mpdata(self):
+        state = random_state(SHAPE, seed=1)
+        runner = PartitionedRunner(advection_sponge_program(), SHAPE)
+        out = runner.step(
+            _arrays(state, np.zeros(SHAPE), np.zeros(SHAPE))
+        )
+        plain = MpdataSolver(SHAPE).step(state)
+        np.testing.assert_array_equal(out, plain)
+
+    def test_full_tau_pins_to_reference(self):
+        state = random_state(SHAPE, seed=2)
+        reference = np.full(SHAPE, 0.25)
+        runner = PartitionedRunner(advection_sponge_program(), SHAPE)
+        out = runner.step(_arrays(state, np.ones(SHAPE), reference))
+        np.testing.assert_allclose(out, reference, atol=1e-14)
+
+    def test_absorbs_an_outgoing_blob(self):
+        """A blob advected into the sponge loses mass there instead of
+        wrapping around the periodic boundary."""
+        x = gaussian_blob(SHAPE, centre=(22.0, 6.0, 4.0), sigma=2.5)
+        u1, u2, u3 = uniform_velocity(SHAPE, (0.3, 0.0, 0.0))
+        h = np.ones(SHAPE)
+        tau = sponge_coefficient(SHAPE, width=8, strength=0.5)
+        runner = PartitionedRunner(advection_sponge_program(), SHAPE)
+        arrays = {
+            "x": x, "u1": u1, "u2": u2, "u3": u3, "h": h,
+            "tau": tau, "x_ref": np.zeros(SHAPE),
+        }
+        field = x
+        masses = []
+        for _ in range(25):
+            arrays["x"] = field
+            field = runner.step(arrays)
+            masses.append(field.sum())
+        assert field.sum() < 0.3 * x.sum()  # most mass absorbed
+        assert field.min() >= -1e-12
+        assert all(a >= b for a, b in zip(masses, masses[1:]))  # monotone
+
+    def test_islands_bit_exact(self):
+        state = random_state(SHAPE, seed=3)
+        tau = sponge_coefficient(SHAPE, width=5, strength=0.3)
+        arrays = _arrays(state, tau, np.zeros(SHAPE))
+        program = advection_sponge_program()
+        whole = PartitionedRunner(program, SHAPE, islands=1).step(arrays)
+        split = PartitionedRunner(program, SHAPE, islands=4).step(arrays)
+        np.testing.assert_array_equal(whole, split)

@@ -1,0 +1,97 @@
+"""Structural tests on the 17-stage MPDATA program."""
+
+from repro.mpdata import FIELD_OUTPUT, mpdata_program, upwind_program
+from repro.stencil import lint_program, program_halo_depth
+
+
+class TestStructure:
+    def test_seventeen_stages(self, mpdata):
+        assert len(mpdata.stages) == 17
+
+    def test_stage_names_in_paper_order(self, mpdata):
+        names = [s.name for s in mpdata.stages]
+        assert names == [
+            "flux_i", "flux_j", "flux_k",
+            "upwind",
+            "pseudo_vel_i", "pseudo_vel_j", "pseudo_vel_k",
+            "local_max", "local_min",
+            "flux_in", "flux_out",
+            "beta_up", "beta_dn",
+            "limited_vel_i", "limited_vel_j", "limited_vel_k",
+            "corrected",
+        ]
+
+    def test_five_inputs_one_output(self, mpdata):
+        """One step loads five 3D arrays and saves one (Sect. 3.1)."""
+        assert {f.name for f in mpdata.input_fields} == {
+            "x", "u1", "u2", "u3", "h"
+        }
+        assert [f.name for f in mpdata.output_fields] == [FIELD_OUTPUT]
+
+    def test_coefficients_marked_time_invariant(self, mpdata):
+        invariant = {
+            f.name for f in mpdata.input_fields if not f.time_varying
+        }
+        assert invariant == {"u1", "u2", "u3", "h"}
+
+    def test_no_dead_stages(self, mpdata):
+        assert lint_program(mpdata) == []
+
+    def test_program_is_cached(self):
+        assert mpdata_program() is mpdata_program()
+
+    def test_halo_depth(self, mpdata):
+        lo, hi = program_halo_depth(mpdata)
+        assert lo == (2, 2, 2)
+        assert hi == (3, 3, 3)
+
+    def test_heterogeneity(self, mpdata):
+        """The stages really are *heterogeneous*: many distinct patterns."""
+        patterns = set()
+        for stage in mpdata.stages:
+            offsets = frozenset(
+                (name, frozenset(offs))
+                for name, offs in stage.footprint.items()
+            )
+            patterns.add(offsets)
+        # Every stage has a unique footprint except local_max/local_min,
+        # which read the same neighbourhood with max vs min.
+        assert len(patterns) == 16
+
+
+class TestAxisSymmetry:
+    def test_flux_stages_symmetric_across_axes(self, mpdata):
+        """flux_i/j/k have identical cost, pattern rotated per axis."""
+        f1, f2, f3 = mpdata.stages[0], mpdata.stages[1], mpdata.stages[2]
+        assert (
+            f1.flops_per_point
+            == f2.flops_per_point
+            == f3.flops_per_point
+        )
+        assert f1.footprint["x"] == {(0, 0, 0), (-1, 0, 0)}
+        assert f2.footprint["x"] == {(0, 0, 0), (0, -1, 0)}
+        assert f3.footprint["x"] == {(0, 0, 0), (0, 0, -1)}
+
+    def test_pseudo_velocity_stages_symmetric(self, mpdata):
+        v1, v2, v3 = mpdata.stages[4], mpdata.stages[5], mpdata.stages[6]
+        assert (
+            v1.flops_per_point
+            == v2.flops_per_point
+            == v3.flops_per_point
+        )
+
+
+class TestUpwindSubProgram:
+    def test_four_stages(self, upwind):
+        assert len(upwind.stages) == 4
+
+    def test_shares_flux_definitions(self, mpdata, upwind):
+        assert upwind.stages[0].expr == mpdata.stages[0].expr
+
+    def test_stage_halo_is_one_above(self, upwind):
+        # Stage *compute* halo: the flux stages extend one face above the
+        # target (divergence reads f[i+1]) and none below; the deeper
+        # *input* halo (x at i-1 through the flux) shows up in GhostSpec.
+        lo, hi = program_halo_depth(upwind)
+        assert lo == (0, 0, 0)
+        assert hi == (1, 1, 1)

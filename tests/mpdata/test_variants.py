@@ -1,0 +1,293 @@
+"""Tests for the MPDATA scheme variants (iord, nonosc)."""
+
+import numpy as np
+import pytest
+
+from repro.mpdata import (
+    MpdataSolver,
+    MpdataState,
+    gaussian_blob,
+    mpdata_program,
+    random_state,
+    reference_step,
+    reference_upwind_step,
+    uniform_velocity,
+    upwind_program,
+)
+from repro.stencil import lint_program, program_halo_depth
+
+
+class TestProgramShapes:
+    @pytest.mark.parametrize(
+        "iord,nonosc,stages",
+        [
+            (1, True, 4),
+            (2, True, 17),
+            (2, False, 8),
+            (3, True, 30),
+            (3, False, 12),
+            (4, True, 43),
+            (4, False, 16),
+        ],
+    )
+    def test_stage_counts(self, iord, nonosc, stages):
+        assert len(mpdata_program(iord=iord, nonosc=nonosc).stages) == stages
+
+    def test_iord_must_be_positive(self):
+        with pytest.raises(ValueError):
+            mpdata_program(iord=0)
+
+    def test_no_dead_stages_in_any_variant(self):
+        for iord in (1, 2, 3):
+            for nonosc in (True, False):
+                assert lint_program(mpdata_program(iord=iord, nonosc=nonosc)) == []
+
+    def test_upwind_alias(self):
+        assert upwind_program() is mpdata_program(iord=1)
+
+    def test_halo_grows_with_iord(self):
+        depth2 = program_halo_depth(mpdata_program(iord=2))
+        depth3 = program_halo_depth(mpdata_program(iord=3))
+        assert max(depth3[0]) > max(depth2[0])
+        assert max(depth3[1]) > max(depth2[1])
+
+    def test_canonical_program_unchanged(self):
+        program = mpdata_program()
+        assert program.name == "mpdata3d_nonosc"
+        assert len(program.stages) == 17
+
+
+class TestVariantNumerics:
+    SHAPE = (14, 12, 8)
+
+    @pytest.fixture()
+    def state(self):
+        return random_state(self.SHAPE, seed=31)
+
+    def test_iord1_matches_reference_upwind(self, state):
+        out = MpdataSolver(self.SHAPE, program=mpdata_program(iord=1)).step(state)
+        np.testing.assert_allclose(
+            out, reference_upwind_step(state), rtol=0, atol=1e-15
+        )
+
+    def test_iord2_basic_matches_reference(self, state):
+        out = MpdataSolver(
+            self.SHAPE, program=mpdata_program(iord=2, nonosc=False)
+        ).step(state)
+        np.testing.assert_allclose(
+            out, reference_step(state, nonosc=False), rtol=0, atol=1e-14
+        )
+
+    @pytest.mark.parametrize("iord", [2, 3])
+    def test_conservation_any_variant(self, state, iord):
+        for nonosc in (True, False):
+            solver = MpdataSolver(
+                self.SHAPE, program=mpdata_program(iord=iord, nonosc=nonosc)
+            )
+            out = solver.run(state, 3)
+            np.testing.assert_allclose(
+                (state.h * out).sum(), (state.h * state.x).sum(), rtol=1e-11
+            )
+
+    def test_nonosc_iord3_preserves_positivity(self, state):
+        solver = MpdataSolver(
+            self.SHAPE, program=mpdata_program(iord=3, nonosc=True)
+        )
+        out = solver.run(state, 4)
+        assert out.min() >= 0.0
+
+    def test_higher_iord_less_diffusive(self):
+        """Each corrective pass recovers more of a translating blob's peak:
+        iord=1 < iord=2 <= iord=3 after several steps."""
+        shape = (32, 8, 4)
+        x = gaussian_blob(shape, sigma=3.0)
+        u1, u2, u3 = uniform_velocity(shape, (0.25, 0.0, 0.0))
+        h = np.ones(shape)
+        state = MpdataState(x, u1, u2, u3, h)
+        peaks = {}
+        for iord in (1, 2, 3):
+            solver = MpdataSolver(
+                shape, program=mpdata_program(iord=iord, nonosc=False)
+            )
+            peaks[iord] = solver.run(state, 8).max()
+        assert peaks[1] < peaks[2] <= peaks[3] + 1e-9
+
+    def test_nonosc_removes_overshoots(self):
+        """On a steep (cone-like) profile, the basic iord=2 scheme
+        overshoots the initial maximum somewhere during a long run; the
+        nonosc variant never does."""
+        shape = (32, 8, 4)
+        x = np.zeros(shape)
+        x[12:20, 2:6, 1:3] = 1.0  # a box profile with sharp edges
+        u1, u2, u3 = uniform_velocity(shape, (0.25, 0.0, 0.0))
+        state = MpdataState(x, u1, u2, u3, np.ones(shape))
+
+        basic = MpdataSolver(
+            shape, program=mpdata_program(iord=2, nonosc=False)
+        ).run(state, 16)
+        limited = MpdataSolver(
+            shape, program=mpdata_program(iord=2, nonosc=True)
+        ).run(state, 16)
+        assert basic.max() > 1.0 + 1e-6  # dispersive overshoot
+        assert limited.max() <= 1.0 + 1e-12
+        assert limited.min() >= -1e-12
+
+
+class TestDimensionality:
+    """The 2D and 1D program variants (grids too thin for a k-halo)."""
+
+    def test_stage_counts_by_dims(self):
+        assert len(mpdata_program(dims=3).stages) == 17
+        assert len(mpdata_program(dims=2).stages) == 14
+        assert len(mpdata_program(dims=1).stages) == 11
+
+    def test_2d_drops_u3(self):
+        inputs = {f.name for f in mpdata_program(dims=2).input_fields}
+        assert inputs == {"x", "u1", "u2", "h"}
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            mpdata_program(dims=4)
+
+    def test_2d_matches_3d_reference_on_thin_grid(self):
+        """At nk = 1 with u3 = 0, the 3D reference degenerates to 2D
+        (np.roll over a size-1 axis is the identity); the dedicated 2D
+        program must reproduce it bit for bit."""
+        shape = (16, 12, 1)
+        rng = np.random.default_rng(3)
+        state = MpdataState(
+            rng.random(shape),
+            rng.uniform(-0.08, 0.08, shape),
+            rng.uniform(-0.08, 0.08, shape),
+            np.zeros(shape),
+            rng.uniform(0.8, 1.25, shape),
+        )
+        out = MpdataSolver(shape, program=mpdata_program(dims=2)).step(state)
+        np.testing.assert_array_equal(out, reference_step(state))
+
+    def test_2d_halo_confined_to_ij(self):
+        from repro.mpdata.solver import GhostSpec
+
+        spec = GhostSpec.for_program(mpdata_program(dims=2), (32, 32, 1))
+        assert spec.lo == (3, 3, 0)
+        assert spec.hi == (3, 3, 0)
+
+    def test_2d_conserves_and_stays_positive(self):
+        shape = (20, 16, 1)
+        rng = np.random.default_rng(4)
+        state = MpdataState(
+            rng.random(shape),
+            rng.uniform(-0.08, 0.08, shape),
+            rng.uniform(-0.08, 0.08, shape),
+            np.zeros(shape),
+            rng.uniform(0.8, 1.25, shape),
+        )
+        out = MpdataSolver(shape, program=mpdata_program(dims=2)).run(state, 4)
+        assert out.min() >= 0.0
+        np.testing.assert_allclose(
+            (state.h * out).sum(), (state.h * state.x).sum(), rtol=1e-12
+        )
+
+    def test_2d_islands_bit_exact(self):
+        from repro.runtime import MpdataIslandSolver
+
+        shape = (20, 16, 1)
+        rng = np.random.default_rng(5)
+        state = MpdataState(
+            rng.random(shape),
+            rng.uniform(-0.08, 0.08, shape),
+            rng.uniform(-0.08, 0.08, shape),
+            np.zeros(shape),
+            rng.uniform(0.8, 1.25, shape),
+        )
+        program = mpdata_program(dims=2)
+        whole = MpdataSolver(shape, program=program).step(state)
+        split = MpdataIslandSolver(shape, 3, program=program).step(state)
+        np.testing.assert_array_equal(whole, split)
+
+    def test_1d_upwind_shift(self):
+        """dims=1 with C=1 is an exact shift, like the 3D case."""
+        shape = (16, 1, 1)
+        rng = np.random.default_rng(6)
+        x = rng.random(shape)
+        state = MpdataState(
+            x, np.full(shape, 1.0), np.zeros(shape), np.zeros(shape),
+            np.ones(shape),
+        )
+        out = MpdataSolver(
+            shape, program=mpdata_program(iord=1, dims=1)
+        ).step(state)
+        np.testing.assert_allclose(out, np.roll(x, 1, axis=0), atol=1e-14)
+
+
+class TestVariableSign:
+    """The absolute-value normalisation for fields that cross zero."""
+
+    SHAPE = (32, 8, 4)
+
+    def _dipole_state(self):
+        x = gaussian_blob(self.SHAPE, centre=(10, 4, 2), sigma=2.5) - (
+            gaussian_blob(self.SHAPE, centre=(22, 4, 2), sigma=2.5)
+        )
+        u1, u2, u3 = uniform_velocity(self.SHAPE, (0.25, 0.0, 0.0))
+        return MpdataState(x, u1, u2, u3, np.ones(self.SHAPE))
+
+    def test_program_name_and_shape(self):
+        program = mpdata_program(variable_sign=True)
+        assert "varsign" in program.name
+        assert len(program.stages) == 17
+
+    def test_canonical_default_unchanged(self):
+        assert mpdata_program().name == "mpdata3d_nonosc"
+
+    def test_beats_upwind_on_sign_crossing_field(self):
+        state = self._dipole_state()
+        exact = np.roll(state.x, 2, axis=0)
+        solver = MpdataSolver(
+            self.SHAPE, program=mpdata_program(variable_sign=True)
+        )
+        varsign = solver.run(state, 8)
+        upwind = state.x.copy()
+        for _ in range(8):
+            upwind = reference_upwind_step(
+                MpdataState(upwind, state.u1, state.u2, state.u3, state.h)
+            )
+        assert np.abs(varsign - exact).mean() < 0.5 * np.abs(
+            upwind - exact
+        ).mean()
+
+    def test_conserves_and_stays_bounded(self):
+        state = self._dipole_state()
+        solver = MpdataSolver(
+            self.SHAPE, program=mpdata_program(variable_sign=True)
+        )
+        out = solver.run(state, 8)
+        assert out.sum() == pytest.approx(state.x.sum(), abs=1e-10)
+        assert out.min() >= state.x.min() - 1e-9
+        assert out.max() <= state.x.max() + 1e-9
+
+    def test_positive_definite_form_fails_here(self):
+        """The reason the option exists: the default normalisation divides
+        by cell sums that vanish between cells of opposite sign."""
+        state = self._dipole_state()
+        out = MpdataSolver(self.SHAPE).run(state, 8)
+        assert (not np.isfinite(out).all()) or np.abs(out).max() > 10.0
+
+    def test_matches_default_on_positive_fields_closely(self):
+        """On strictly positive data the two normalisations agree to a few
+        percent (identical when |x| == x except for rounding paths)."""
+        state = random_state(self.SHAPE, seed=99)
+        default = MpdataSolver(self.SHAPE).run(state, 3)
+        varsign = MpdataSolver(
+            self.SHAPE, program=mpdata_program(variable_sign=True)
+        ).run(state, 3)
+        np.testing.assert_allclose(varsign, default, rtol=0.05, atol=1e-3)
+
+    def test_islands_bit_exact(self):
+        from repro.runtime import MpdataIslandSolver
+
+        state = self._dipole_state()
+        program = mpdata_program(variable_sign=True)
+        whole = MpdataSolver(self.SHAPE, program=program).step(state)
+        split = MpdataIslandSolver(self.SHAPE, 4, program=program).step(state)
+        np.testing.assert_array_equal(whole, split)

@@ -1,0 +1,175 @@
+"""Property-based tests of the compiler-side invariants.
+
+Random multi-stage programs are pushed through codegen, the transformation
+passes and serialization; in every case the observable semantics (array
+values, to the last bit) or the structure (program equality) must survive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.stencil import (
+    Access,
+    ArrayRegion,
+    Box,
+    Field,
+    FieldRole,
+    Stage,
+    StencilProgram,
+    compile_plan,
+    eliminate_dead_stages,
+    execute_plan,
+    inline_all_temporaries,
+    load_program,
+    dump_program,
+    required_regions,
+    schedule_by_levels,
+)
+
+offsets = st.tuples(
+    st.integers(-2, 2), st.integers(-2, 2), st.integers(-1, 1)
+)
+
+
+@st.composite
+def programs(draw):
+    """Random dead-stage-free chains over two inputs (see the sibling
+    module for the construction)."""
+    n_stages = draw(st.integers(2, 5))
+    available = ["x0", "x1"]
+    stages = []
+    for index in range(n_stages):
+        n_reads = draw(st.integers(1, 3))
+        expr = None
+        for read_index in range(n_reads):
+            field = (
+                available[-1]
+                if read_index == 0
+                else draw(st.sampled_from(available))
+            )
+            access = Access(field, draw(offsets))
+            term = access * draw(
+                st.floats(min_value=-1.0, max_value=1.0, allow_nan=False)
+            )
+            expr = term if expr is None else expr + term
+        name = f"t{index}"
+        stages.append(Stage(f"s{index}", name, expr))
+        available.append(name)
+    return StencilProgram.build(
+        "random",
+        inputs=(Field("x0", FieldRole.INPUT), Field("x1", FieldRole.INPUT)),
+        stages=tuple(stages),
+        outputs=(stages[-1].output,),
+    )
+
+
+def _inputs_for(program, plan, seed):
+    rng = np.random.default_rng(seed)
+    out = {}
+    for field in program.input_fields:
+        box = plan.input_boxes[field.name]
+        if box.is_empty():
+            continue
+        out[field.name] = ArrayRegion(
+            rng.standard_normal(box.shape), box
+        )
+    return out
+
+
+@settings(max_examples=40, deadline=None)
+@given(program=programs(), seed=st.integers(0, 1000))
+def test_codegen_bit_exact_for_random_programs(program, seed):
+    """Compiled straight-line code computes the same bits as the
+    interpreter on any program."""
+    target = Box((0, 0, 0), (9, 7, 4))
+    plan = required_regions(program, target)
+    inputs = _inputs_for(program, plan, seed)
+    expected, _ = execute_plan(program, plan, inputs)
+    compiled = compile_plan(program, plan)
+    actual = compiled(inputs)
+    output = program.output_fields[0].name
+    np.testing.assert_array_equal(
+        actual[output].data, expected[output].data
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(program=programs(), seed=st.integers(0, 1000))
+def test_full_inlining_preserves_values(program, seed):
+    """inline_all_temporaries is semantics-preserving for any program."""
+    mega = inline_all_temporaries(program)
+    assert len(mega.stages) == 1
+
+    target = Box((0, 0, 0), (9, 7, 4))
+    plan_orig = required_regions(program, target)
+    plan_mega = required_regions(mega, target)
+    # The mega plan needs at least as much input as the staged plan.
+    seed_inputs = _inputs_for(mega, plan_mega, seed)
+    # Widen to the union so both plans can execute on the same data.
+    inputs = {}
+    for field in program.input_fields:
+        a = plan_orig.input_boxes[field.name]
+        b = plan_mega.input_boxes[field.name]
+        union = a.hull(b)
+        if union.is_empty():
+            continue
+        rng = np.random.default_rng(seed + hash(field.name) % 1000)
+        inputs[field.name] = ArrayRegion(
+            rng.standard_normal(union.shape), union
+        )
+    output = program.output_fields[0].name
+    staged, _ = execute_plan(program, plan_orig, inputs)
+    inlined, _ = execute_plan(mega, plan_mega, inputs)
+    np.testing.assert_array_equal(
+        staged[output].view(target), inlined[output].view(target)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(program=programs(), seed=st.integers(0, 1000))
+def test_level_schedule_preserves_values(program, seed):
+    scheduled = schedule_by_levels(program)
+    target = Box((0, 0, 0), (9, 7, 4))
+    plan_a = required_regions(program, target)
+    plan_b = required_regions(scheduled, target)
+    inputs = _inputs_for(program, plan_a, seed)
+    # Level scheduling cannot change input requirements.
+    assert plan_a.input_boxes == plan_b.input_boxes
+    output = program.output_fields[0].name
+    a, _ = execute_plan(program, plan_a, inputs)
+    b, _ = execute_plan(scheduled, plan_b, inputs)
+    np.testing.assert_array_equal(a[output].data, b[output].data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(program=programs())
+def test_serialization_roundtrip_identity(program):
+    assert load_program(dump_program(program)) == program
+
+
+@settings(max_examples=30, deadline=None)
+@given(program=programs())
+def test_dead_stage_elimination_idempotent(program):
+    once = eliminate_dead_stages(program)
+    twice = eliminate_dead_stages(once)
+    assert once == twice
+    # Generator guarantees no dead stages, so nothing should change.
+    assert once == program
+
+
+@settings(max_examples=30, deadline=None)
+@given(program=programs(), seed=st.integers(0, 1000))
+def test_buffer_reuse_bit_exact_for_random_programs(program, seed):
+    """The liveness arena never changes results, for any program."""
+    target = Box((0, 0, 0), (9, 7, 4))
+    plan = required_regions(program, target)
+    inputs = _inputs_for(program, plan, seed)
+    plain, _ = execute_plan(program, plan, inputs)
+    reused, stats = execute_plan(program, plan, inputs, reuse_buffers=True)
+    output = program.output_fields[0].name
+    np.testing.assert_array_equal(plain[output].data, reused[output].data)
+    assert stats.allocations + stats.reused_buffers == len(
+        [b for b in plan.stage_boxes if not b.is_empty()]
+    )

@@ -1,0 +1,176 @@
+"""Property-based tests of the library's central invariants.
+
+The heart of the reproduction is the claim that *recomputing the transitive
+halo is equivalent to communicating it* — not approximately, but to the
+last bit, for any stencil program.  These tests generate random multi-stage
+programs and random partitionings and check the equivalence, plus the
+redundancy-accounting identities Table 2 relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Variant, partition_domain, redundancy_report
+from repro.mpdata import MpdataState, random_state
+from repro.runtime import PartitionedRunner, verify_islands
+from repro.stencil import (
+    Access,
+    Box,
+    Field,
+    FieldRole,
+    Stage,
+    StencilProgram,
+    full_box,
+    required_regions,
+)
+
+# ----------------------------------------------------------------------
+# Random stencil programs
+# ----------------------------------------------------------------------
+offsets = st.tuples(
+    st.integers(-2, 2), st.integers(-2, 2), st.integers(-1, 1)
+)
+
+
+@st.composite
+def programs(draw):
+    """A random chain of 2-5 stages, each reading earlier fields at random
+    offsets (sums and products, so values stay finite)."""
+    n_stages = draw(st.integers(2, 5))
+    available = ["x0", "x1"]
+    stages = []
+    for index in range(n_stages):
+        n_reads = draw(st.integers(1, 3))
+        expr = None
+        for read_index in range(n_reads):
+            # The first read always takes the newest field, so every stage
+            # feeds the chain and no stage is dead.
+            if read_index == 0:
+                field = available[-1]
+            else:
+                field = draw(st.sampled_from(available))
+            access = Access(field, draw(offsets))
+            term = access * draw(
+                st.floats(min_value=-1.0, max_value=1.0, allow_nan=False)
+            )
+            expr = term if expr is None else expr + term
+        name = f"t{index}"
+        stages.append(Stage(f"s{index}", name, expr))
+        available.append(name)
+    return StencilProgram.build(
+        "random",
+        inputs=(Field("x0", FieldRole.INPUT), Field("x1", FieldRole.INPUT)),
+        stages=tuple(stages),
+        outputs=(stages[-1].output,),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    program=programs(),
+    islands=st.integers(1, 4),
+    variant=st.sampled_from([Variant.A, Variant.B]),
+    seed=st.integers(0, 1000),
+)
+def test_partitioned_execution_bit_exact_for_random_programs(
+    program, islands, variant, seed
+):
+    """Islands-of-cores is semantics-preserving for ANY stencil program."""
+    shape = (13, 11, 5)
+    rng = np.random.default_rng(seed)
+    arrays = {
+        "x0": rng.standard_normal(shape),
+        "x1": rng.standard_normal(shape),
+    }
+    whole = PartitionedRunner(program, shape, islands=1)
+    split = PartitionedRunner(program, shape, islands=islands, variant=variant)
+    np.testing.assert_array_equal(whole.step(arrays), split.step(arrays))
+
+
+@settings(max_examples=25, deadline=None)
+@given(program=programs(), islands=st.integers(2, 5))
+def test_redundancy_identities(program, islands):
+    """Accounting identities for any program/partition:
+
+    * own points across islands partition the baseline exactly,
+    * extra points are non-negative,
+    * extra + own equals the halo plans' compute totals.
+    """
+    domain = full_box((20, 16, 4))
+    partition = partition_domain(domain, islands, Variant.A)
+    report = redundancy_report(program, partition)
+    assert sum(i.own_points for i in report.islands) == report.baseline_points
+    assert report.extra_points >= 0
+    for island in report.islands:
+        plan = required_regions(program, island.part, domain=domain)
+        assert island.total_points == plan.compute_points()
+
+
+@settings(max_examples=25, deadline=None)
+@given(program=programs())
+def test_redundancy_linear_in_cuts(program):
+    """Extra points grow exactly linearly with the number of interior cuts
+    when parts are wider than the halo (the shape of Table 2)."""
+    domain = full_box((48, 16, 4))
+    extras = []
+    for islands in (2, 3, 4):
+        partition = partition_domain(domain, islands, Variant.A)
+        extras.append(redundancy_report(program, partition).extra_points)
+    per_cut = extras[0]
+    assert extras[1] == 2 * per_cut
+    assert extras[2] == 3 * per_cut
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    islands=st.integers(1, 4),
+    variant=st.sampled_from([Variant.A, Variant.B]),
+    steps=st.integers(1, 3),
+    seed=st.integers(0, 10_000),
+)
+def test_mpdata_islands_bit_exact(islands, variant, steps, seed):
+    """The headline invariant on the real application."""
+    shape = (14, 12, 8)
+    state = random_state(shape, seed=seed)
+    result = verify_islands(
+        shape, state, islands=islands, variant=variant, steps=steps
+    )
+    assert result.bit_exact, result
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    lo=st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 3)),
+    hi=st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 3)),
+)
+def test_ghost_fill_matches_numpy_pad(lo, hi):
+    from repro.mpdata import extend_array
+
+    rng = np.random.default_rng(0)
+    interior = rng.random((5, 4, 6))
+    periodic = extend_array(interior, lo, hi, "periodic")
+    np.testing.assert_array_equal(
+        periodic.data, np.pad(interior, tuple(zip(lo, hi)), mode="wrap")
+    )
+    open_bc = extend_array(interior, lo, hi, "open")
+    np.testing.assert_array_equal(
+        open_bc.data, np.pad(interior, tuple(zip(lo, hi)), mode="edge")
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), steps=st.integers(1, 4))
+def test_mpdata_conservation_and_positivity(seed, steps):
+    """Physical invariants hold for arbitrary CFL-stable random states."""
+    from repro.mpdata import reference_run
+
+    shape = (12, 10, 8)
+    state = random_state(shape, seed=seed)
+    out = reference_run(state, steps)
+    assert out.min() >= 0.0
+    np.testing.assert_allclose(
+        (state.h * out).sum(), (state.h * state.x).sum(), rtol=1e-11
+    )

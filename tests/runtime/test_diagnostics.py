@@ -1,0 +1,54 @@
+"""Tests for the run-diagnostics recorder."""
+
+import numpy as np
+import pytest
+
+from repro.mpdata import MpdataSolver, random_state, translation_state
+from repro.runtime import MpdataIslandSolver, RunRecorder
+
+SHAPE = (14, 12, 8)
+
+
+class TestRunRecorder:
+    def test_records_every_step(self):
+        state = random_state(SHAPE, seed=5)
+        history = RunRecorder(MpdataSolver(SHAPE)).run(state, 4)
+        assert len(history.steps) == 4
+        assert [d.step for d in history.steps] == [1, 2, 3, 4]
+
+    def test_mass_conserved_along_the_whole_trajectory(self):
+        state = random_state(SHAPE, seed=6)
+        history = RunRecorder(MpdataSolver(SHAPE)).run(state, 5)
+        assert history.mass_drift < 1e-10 * abs(history.initial_mass)
+
+    def test_positivity_along_the_whole_trajectory(self):
+        state = random_state(SHAPE, seed=7)
+        history = RunRecorder(MpdataSolver(SHAPE)).run(state, 5)
+        assert history.global_minimum >= 0.0
+
+    def test_variance_decays_for_uniform_translation(self):
+        state = translation_state((24, 12, 8))
+        history = RunRecorder(MpdataSolver((24, 12, 8))).run(state, 6)
+        assert history.monotone_variance_decay()
+
+    def test_final_matches_plain_run(self):
+        state = random_state(SHAPE, seed=8)
+        history = RunRecorder(MpdataSolver(SHAPE)).run(state, 3)
+        plain = MpdataSolver(SHAPE).run(state, 3)
+        np.testing.assert_array_equal(history.final, plain)
+
+    def test_works_with_island_solver(self):
+        state = random_state(SHAPE, seed=9)
+        history = RunRecorder(MpdataIslandSolver(SHAPE, 3)).run(state, 2)
+        assert history.mass_drift < 1e-10 * abs(history.initial_mass)
+
+    def test_zero_steps(self):
+        state = random_state(SHAPE, seed=10)
+        history = RunRecorder(MpdataSolver(SHAPE)).run(state, 0)
+        assert history.steps == ()
+        np.testing.assert_array_equal(history.final, state.x)
+
+    def test_negative_steps_rejected(self):
+        state = random_state(SHAPE, seed=11)
+        with pytest.raises(ValueError):
+            RunRecorder(MpdataSolver(SHAPE)).run(state, -1)

@@ -1,0 +1,83 @@
+"""Tests for the two-level islands plan builder."""
+
+import pytest
+
+from repro.machine import simulate, sgi_uv2000, uv2000_costs
+from repro.sched import build_islands_plan, build_two_level_plan
+
+SHAPE = (1024, 512, 64)
+STEPS = 50
+
+
+@pytest.fixture(scope="module")
+def env():
+    return sgi_uv2000(), uv2000_costs()
+
+
+def _seconds(plan):
+    return simulate(plan).total_seconds
+
+
+class TestTwoLevelPlan:
+    def test_inner_grid_capacity_checked(self, mpdata, env):
+        machine, costs = env
+        with pytest.raises(ValueError, match="cores"):
+            build_two_level_plan(
+                mpdata, SHAPE, STEPS, 14, (4, 4), machine, costs
+            )
+
+    def test_steps_and_islands_validated(self, mpdata, env):
+        machine, costs = env
+        with pytest.raises(ValueError):
+            build_two_level_plan(mpdata, SHAPE, 0, 14, (1, 8), machine, costs)
+        with pytest.raises(ValueError):
+            build_two_level_plan(mpdata, SHAPE, STEPS, 15, (1, 8), machine, costs)
+
+    def test_trivial_inner_beats_plain_islands(self, mpdata, env):
+        """inner = (1,1) removes the work-team penalty with zero extra
+        redundancy — the model's upper bound on the future-work gain."""
+        machine, costs = env
+        plain = _seconds(
+            build_islands_plan(mpdata, SHAPE, STEPS, 14, machine, costs)
+        )
+        nested = _seconds(
+            build_two_level_plan(
+                mpdata, SHAPE, STEPS, 14, (1, 1), machine, costs
+            )
+        )
+        assert nested < plain
+
+    def test_thin_i_slabs_lose(self, mpdata, env):
+        """8x1 core islands pay ~21 % redundancy — more than the rate gain."""
+        machine, costs = env
+        along_i = _seconds(
+            build_two_level_plan(
+                mpdata, SHAPE, STEPS, 14, (8, 1), machine, costs
+            )
+        )
+        along_j = _seconds(
+            build_two_level_plan(
+                mpdata, SHAPE, STEPS, 14, (1, 8), machine, costs
+            )
+        )
+        assert along_j < along_i
+
+    def test_flops_include_both_levels_of_redundancy(self, mpdata, env):
+        machine, costs = env
+        flat = build_two_level_plan(
+            mpdata, SHAPE, STEPS, 14, (1, 1), machine, costs
+        )
+        nested = build_two_level_plan(
+            mpdata, SHAPE, STEPS, 14, (2, 4), machine, costs
+        )
+        assert nested.total_flops > flat.total_flops
+
+    def test_study_reports_best_grid(self):
+        from repro.experiments.future_work import run_two_level_study
+
+        study = run_two_level_study(
+            outer=4, shape=(256, 128, 16), steps=10
+        )
+        assert study.best_grid() == "none"  # upper bound always wins
+        by_grid = {row[0]: row[5] for row in study.rows}
+        assert by_grid["1x8"] > by_grid["8x1"]  # j-split beats i-split

@@ -1,0 +1,202 @@
+"""Tests for the strategy-to-plan compilers and their simulated behaviour.
+
+These tests pin the *qualitative* shape the paper reports (who wins where)
+plus the calibration anchors; exact-cell comparisons live in the
+experiments tests.
+"""
+
+import pytest
+
+from repro.core import Variant
+from repro.machine import simulate, sgi_uv2000, uv2000_costs
+from repro.sched import build_fused_plan, build_islands_plan, build_original_plan
+
+SHAPE = (1024, 512, 64)
+STEPS = 50
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return sgi_uv2000()
+
+
+@pytest.fixture(scope="module")
+def costs():
+    return uv2000_costs()
+
+
+def _seconds(plan):
+    return simulate(plan).total_seconds
+
+
+class TestOriginal:
+    def test_single_node_anchor(self, mpdata, machine, costs):
+        t = _seconds(
+            build_original_plan(mpdata, SHAPE, STEPS, 1, machine, costs)
+        )
+        assert t == pytest.approx(30.4, rel=0.01)
+
+    def test_serial_equals_first_touch_on_one_node(self, mpdata, machine, costs):
+        serial = _seconds(
+            build_original_plan(
+                mpdata, SHAPE, STEPS, 1, machine, costs, "serial"
+            )
+        )
+        ft = _seconds(
+            build_original_plan(mpdata, SHAPE, STEPS, 1, machine, costs)
+        )
+        assert serial == pytest.approx(ft, rel=1e-6)
+
+    def test_serial_init_gets_slower_with_more_nodes(self, mpdata, machine, costs):
+        times = [
+            _seconds(
+                build_original_plan(
+                    mpdata, SHAPE, STEPS, p, machine, costs, "serial"
+                )
+            )
+            for p in (1, 2, 4, 8, 14)
+        ]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_first_touch_scales_down(self, mpdata, machine, costs):
+        times = [
+            _seconds(
+                build_original_plan(mpdata, SHAPE, STEPS, p, machine, costs)
+            )
+            for p in (1, 2, 4, 8, 14)
+        ]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_one_phase_per_stage(self, mpdata, machine, costs):
+        plan = build_original_plan(mpdata, SHAPE, STEPS, 4, machine, costs)
+        assert len(plan.phases) == 17
+        assert all(phase.repeat == STEPS for phase in plan.phases)
+
+    def test_invalid_arguments(self, mpdata, machine, costs):
+        with pytest.raises(ValueError, match="placement"):
+            build_original_plan(
+                mpdata, SHAPE, STEPS, 1, machine, costs, "numad"
+            )
+        with pytest.raises(ValueError, match="nodes"):
+            build_original_plan(mpdata, SHAPE, STEPS, 15, machine, costs)
+        with pytest.raises(ValueError, match="steps"):
+            build_original_plan(mpdata, SHAPE, 0, 1, machine, costs)
+
+
+class TestFused:
+    def test_single_node_anchor(self, mpdata, machine, costs):
+        t = _seconds(build_fused_plan(mpdata, SHAPE, STEPS, 1, machine, costs))
+        assert t == pytest.approx(9.0, rel=0.01)
+
+    def test_single_node_beats_original(self, mpdata, machine, costs):
+        fused = _seconds(
+            build_fused_plan(mpdata, SHAPE, STEPS, 1, machine, costs)
+        )
+        original = _seconds(
+            build_original_plan(mpdata, SHAPE, STEPS, 1, machine, costs)
+        )
+        assert original / fused > 3.0  # paper: 3.37x
+
+    def test_original_overtakes_fused_at_moderate_p(self, mpdata, machine, costs):
+        """The paper's key negative result: pure (3+1)D loses to the
+        original version from P ~ 4-5 onward."""
+        for p in (8, 14):
+            fused = _seconds(
+                build_fused_plan(mpdata, SHAPE, STEPS, p, machine, costs)
+            )
+            original = _seconds(
+                build_original_plan(mpdata, SHAPE, STEPS, p, machine, costs)
+            )
+            assert original < fused
+
+    def test_smaller_cache_budget_is_slower(self, mpdata, machine, costs):
+        big = _seconds(
+            build_fused_plan(
+                mpdata, SHAPE, STEPS, 8, machine, costs,
+                cache_bytes=16 * 1024 * 1024,
+            )
+        )
+        small = _seconds(
+            build_fused_plan(
+                mpdata, SHAPE, STEPS, 8, machine, costs,
+                cache_bytes=2 * 1024 * 1024,
+            )
+        )
+        assert small > big
+
+
+class TestIslands:
+    def test_single_island_equals_fused(self, mpdata, machine, costs):
+        islands = _seconds(
+            build_islands_plan(mpdata, SHAPE, STEPS, 1, machine, costs)
+        )
+        fused = _seconds(
+            build_fused_plan(mpdata, SHAPE, STEPS, 1, machine, costs)
+        )
+        assert islands == pytest.approx(fused, rel=0.01)
+
+    def test_beats_both_baselines_everywhere(self, mpdata, machine, costs):
+        for p in (2, 4, 8, 14):
+            islands = _seconds(
+                build_islands_plan(mpdata, SHAPE, STEPS, p, machine, costs)
+            )
+            fused = _seconds(
+                build_fused_plan(mpdata, SHAPE, STEPS, p, machine, costs)
+            )
+            original = _seconds(
+                build_original_plan(mpdata, SHAPE, STEPS, p, machine, costs)
+            )
+            assert islands < fused
+            assert islands < original
+
+    def test_headline_speedup_over_fused_at_14(self, mpdata, machine, costs):
+        islands = _seconds(
+            build_islands_plan(mpdata, SHAPE, STEPS, 14, machine, costs)
+        )
+        fused = _seconds(
+            build_fused_plan(mpdata, SHAPE, STEPS, 14, machine, costs)
+        )
+        assert fused / islands > 9.0  # paper: "more than 10 times"
+
+    def test_overall_speedup_roughly_constant(self, mpdata, machine, costs):
+        """S_ov stays near 2.8 across P (paper: 2.74..2.96)."""
+        ratios = []
+        for p in (2, 6, 10, 14):
+            islands = _seconds(
+                build_islands_plan(mpdata, SHAPE, STEPS, p, machine, costs)
+            )
+            original = _seconds(
+                build_original_plan(mpdata, SHAPE, STEPS, p, machine, costs)
+            )
+            ratios.append(original / islands)
+        assert all(2.4 < r < 3.2 for r in ratios)
+
+    def test_variant_a_beats_variant_b(self, mpdata, machine, costs):
+        a = _seconds(
+            build_islands_plan(
+                mpdata, SHAPE, STEPS, 8, machine, costs, variant=Variant.A
+            )
+        )
+        b = _seconds(
+            build_islands_plan(
+                mpdata, SHAPE, STEPS, 8, machine, costs, variant=Variant.B
+            )
+        )
+        assert a <= b
+
+    def test_flops_include_redundancy(self, mpdata, machine, costs):
+        one = build_islands_plan(mpdata, SHAPE, STEPS, 1, machine, costs)
+        many = build_islands_plan(mpdata, SHAPE, STEPS, 14, machine, costs)
+        assert many.total_flops > one.total_flops
+
+    def test_explicit_placement_length_checked(self, mpdata, machine, costs):
+        with pytest.raises(ValueError, match="placement"):
+            build_islands_plan(
+                mpdata, SHAPE, STEPS, 4, machine, costs, placement=[0, 1]
+            )
+
+    def test_single_step_phase(self, mpdata, machine, costs):
+        plan = build_islands_plan(mpdata, SHAPE, STEPS, 4, machine, costs)
+        assert len(plan.phases) == 1
+        assert plan.phases[0].repeat == STEPS
+        assert plan.phases[0].barrier_nodes == 4

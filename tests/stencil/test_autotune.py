@@ -1,0 +1,99 @@
+"""Tests for the block-shape autotuner."""
+
+import pytest
+
+from repro.stencil import (
+    autotune_blocks,
+    candidate_shapes,
+    full_box,
+    plan_blocks,
+    plan_blocks_exact,
+)
+
+
+class TestPlanBlocksExact:
+    def test_tiles_domain(self, mpdata):
+        plan = plan_blocks_exact(mpdata, full_box((64, 32, 16)), (16, 16, 16))
+        plan.validate_partition()
+        assert plan.count == 4 * 2 * 1
+
+    def test_rejects_bad_shape(self, mpdata):
+        with pytest.raises(ValueError):
+            plan_blocks_exact(mpdata, full_box((8, 8, 8)), (0, 4, 4))
+
+
+class TestCandidateShapes:
+    def test_powers_of_two_plus_extent(self):
+        shapes = candidate_shapes(full_box((48, 8, 8)), min_block=(4, 4, 4))
+        i_options = sorted({s[0] for s in shapes})
+        assert i_options == [4, 8, 16, 32, 48]
+
+    def test_power_of_two_extent_not_duplicated(self):
+        shapes = candidate_shapes(full_box((16, 8, 8)), min_block=(4, 4, 4))
+        i_options = sorted({s[0] for s in shapes})
+        assert i_options == [4, 8, 16]
+
+
+class TestAutotune:
+    def test_prefers_fewer_blocks_when_score_is_count(self, mpdata):
+        domain = full_box((64, 32, 16))
+        result = autotune_blocks(
+            mpdata, domain, cache_bytes=64 * 1024 * 1024,
+            score=lambda plan: float(plan.count),
+        )
+        # With a huge budget the single whole-domain block wins.
+        assert result.best.count == 1
+        assert result.best_score == 1.0
+
+    def test_respects_cache_budget(self, mpdata):
+        domain = full_box((64, 32, 16))
+        budget = 2 * 1024 * 1024
+        result = autotune_blocks(
+            mpdata, domain, budget, score=lambda plan: float(plan.count)
+        )
+        assert result.best.working_set <= budget
+
+    def test_no_feasible_shape_raises(self, mpdata):
+        with pytest.raises(ValueError, match="fits"):
+            autotune_blocks(
+                mpdata, full_box((64, 32, 16)), 1024,
+                score=lambda plan: 0.0,
+            )
+
+    def test_ranking_sorted(self, mpdata):
+        result = autotune_blocks(
+            mpdata, full_box((32, 16, 8)), 64 * 1024 * 1024,
+            score=lambda plan: float(plan.count),
+        )
+        scores = [score for _, score in result.ranking]
+        assert scores == sorted(scores)
+        assert result.evaluated == len(result.ranking)
+
+    def test_beats_or_matches_heuristic_on_simulated_time(self, mpdata):
+        """The search's whole point: never worse than the heuristic under
+        the same objective."""
+        from repro.machine import simulate, sgi_uv2000, uv2000_costs
+        from repro.sched import build_fused_plan
+
+        machine, costs = sgi_uv2000(), uv2000_costs()
+        shape = (128, 64, 16)
+        domain = full_box(shape)
+        budget = 4 * 1024 * 1024
+
+        def score(plan):
+            return simulate(
+                build_fused_plan(
+                    mpdata, shape, 10, 4, machine, costs, blocks=plan
+                )
+            ).total_seconds
+
+        result = autotune_blocks(mpdata, domain, budget, score)
+        heuristic = score(plan_blocks(mpdata, domain, budget))
+        assert result.best_score <= heuristic * (1 + 1e-9)
+
+    def test_improvement_ratio(self, mpdata):
+        result = autotune_blocks(
+            mpdata, full_box((32, 16, 8)), 64 * 1024 * 1024,
+            score=lambda plan: float(plan.count),
+        )
+        assert result.improvement_over(4.0) == pytest.approx(4.0)

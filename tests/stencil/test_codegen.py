@@ -1,0 +1,134 @@
+"""Tests for the stencil-program compiler (codegen)."""
+
+import numpy as np
+import pytest
+
+from repro.mpdata import MpdataSolver, mpdata_program, random_state
+from repro.stencil import (
+    Access,
+    ArrayRegion,
+    Box,
+    Field,
+    FieldRole,
+    Stage,
+    StencilProgram,
+    compile_plan,
+    compile_program,
+    execute_plan,
+    full_box,
+    required_regions,
+)
+
+
+class TestCompileChain:
+    def test_bit_exact_vs_interpreter(self, chain_program):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((18, 4, 4))
+        inputs = {"x": ArrayRegion.wrap(x, lo=(-3, 0, 0))}
+        target = Box((0, 0, 0), (12, 4, 4))
+        plan = required_regions(chain_program, target)
+        compiled = compile_plan(chain_program, plan)
+        expected, _ = execute_plan(chain_program, plan, inputs)
+        actual = compiled(inputs)
+        np.testing.assert_array_equal(
+            actual["y"].data, expected["y"].data
+        )
+        assert actual["y"].box == expected["y"].box
+
+    def test_source_is_inspectable(self, chain_program):
+        compiled = compile_program(chain_program, Box((0, 0, 0), (8, 4, 4)))
+        assert "def _step(x):" in compiled.source
+        assert "np.add" in compiled.source
+        assert "# stage 3: s3 -> y" in compiled.source
+
+    def test_keep_temporaries(self, chain_program):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((14, 4, 4))
+        inputs = {"x": ArrayRegion.wrap(x, lo=(-3, 0, 0))}
+        compiled = compile_program(chain_program, Box((0, 0, 0), (8, 4, 4)))
+        results = compiled(inputs, keep_temporaries=True)
+        assert set(results) == {"a", "b", "y"}
+
+    def test_insufficient_input_rejected(self, chain_program):
+        compiled = compile_program(chain_program, Box((0, 0, 0), (8, 4, 4)))
+        small = {"x": ArrayRegion.wrap(np.zeros((8, 4, 4)))}
+        with pytest.raises(ValueError, match="required"):
+            compiled(small)
+
+    def test_dtype_respected(self, chain_program):
+        x = np.zeros((14, 4, 4), dtype=np.float32)
+        inputs = {"x": ArrayRegion.wrap(x, lo=(-3, 0, 0))}
+        compiled = compile_program(
+            chain_program, Box((0, 0, 0), (8, 4, 4)), dtype=np.float32
+        )
+        assert compiled(inputs)["y"].data.dtype == np.float32
+
+
+class TestCompileMpdata:
+    def test_full_step_bit_exact(self, mpdata):
+        shape = (16, 12, 8)
+        solver = MpdataSolver(shape)
+        state = random_state(shape, seed=5)
+        inputs = solver.prepare_inputs(state)
+        plan = required_regions(
+            mpdata, solver.domain, domain=solver.extended_domain
+        )
+        compiled = compile_plan(mpdata, plan)
+        expected, _ = execute_plan(mpdata, plan, inputs)
+        actual = compiled(inputs)
+        np.testing.assert_array_equal(
+            actual["x_out"].data, expected["x_out"].data
+        )
+
+    def test_solver_compiled_flag(self):
+        shape = (14, 10, 8)
+        state = random_state(shape, seed=6)
+        plain = MpdataSolver(shape).run(state, 3)
+        fast = MpdataSolver(shape, compiled=True).run(state, 3)
+        np.testing.assert_array_equal(plain, fast)
+
+    def test_islands_compiled_flag(self):
+        from repro.runtime import MpdataIslandSolver
+
+        shape = (14, 10, 8)
+        state = random_state(shape, seed=7)
+        plain = MpdataIslandSolver(shape, 3).run(state, 2)
+        fast = MpdataIslandSolver(shape, 3, compiled=True, threads=3).run(
+            state, 2
+        )
+        np.testing.assert_array_equal(plain, fast)
+
+    def test_all_17_stages_in_source(self, mpdata):
+        compiled = compile_program(mpdata, full_box((16, 16, 8)))
+        for stage in mpdata.stages:
+            assert f"-> {stage.output}" in compiled.source
+
+    def test_clipped_plan_without_ghosts_rejected(self, mpdata):
+        """Clipping to the bare domain leaves reads that escape the
+        available data; compilation must fail loudly (the interpreter
+        raises at run time; silent negative slices would wrap)."""
+        domain = full_box((16, 16, 8))
+        with pytest.raises(ValueError, match="ghost"):
+            compile_program(mpdata, domain, domain=domain)
+
+
+class TestCompileValidation:
+    def test_reserved_field_name_rejected(self):
+        program = StencilProgram.build(
+            "bad",
+            inputs=(Field("np", FieldRole.INPUT),),
+            stages=(Stage("s", "y", Access("np")),),
+            outputs=("y",),
+        )
+        with pytest.raises(ValueError, match="identifier"):
+            compile_program(program, Box((0, 0, 0), (4, 4, 4)))
+
+    def test_underscore_field_name_rejected(self):
+        program = StencilProgram.build(
+            "bad",
+            inputs=(Field("_x", FieldRole.INPUT),),
+            stages=(Stage("s", "y", Access("_x")),),
+            outputs=("y",),
+        )
+        with pytest.raises(ValueError, match="identifier"):
+            compile_program(program, Box((0, 0, 0), (4, 4, 4)))

@@ -1,0 +1,133 @@
+"""Tests for the backward transitive halo analysis — the heart of the
+islands-of-cores redundancy accounting."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.stencil import (
+    Access,
+    Box,
+    Field,
+    FieldRole,
+    Stage,
+    StencilProgram,
+    program_halo_depth,
+    required_regions,
+    stage_expansions,
+)
+
+
+class TestChainProgram:
+    """Exact expectations on the 3-stage 1D chain (halo 1 per stage)."""
+
+    def test_stage_boxes_grow_backwards(self, chain_program):
+        target = Box((10, 0, 0), (20, 4, 4))
+        plan = required_regions(chain_program, target)
+        # s3 computes the target, s2 one layer wider, s1 two layers wider.
+        assert plan.stage_boxes[2] == target
+        assert plan.stage_boxes[1] == Box((9, 0, 0), (21, 4, 4))
+        assert plan.stage_boxes[0] == Box((8, 0, 0), (22, 4, 4))
+
+    def test_input_requirement(self, chain_program):
+        target = Box((10, 0, 0), (20, 4, 4))
+        plan = required_regions(chain_program, target)
+        assert plan.input_boxes["x"] == Box((7, 0, 0), (23, 4, 4))
+
+    def test_clipping_to_domain(self, chain_program):
+        domain = Box((0, 0, 0), (20, 4, 4))
+        target = Box((10, 0, 0), (20, 4, 4))
+        plan = required_regions(chain_program, target, domain=domain)
+        # Upper side clipped at 20, lower side extends normally.
+        assert plan.stage_boxes[1] == Box((9, 0, 0), (20, 4, 4))
+        assert plan.stage_boxes[0] == Box((8, 0, 0), (20, 4, 4))
+        assert plan.input_boxes["x"] == Box((7, 0, 0), (20, 4, 4))
+
+    def test_extra_points(self, chain_program):
+        target = Box((10, 0, 0), (20, 4, 4))
+        plan = required_regions(chain_program, target)
+        # s3: 0 extra; s2: 2 planes of 16; s1: 4 planes of 16.
+        assert plan.extra_points() == (2 + 4) * 16
+
+    def test_compute_points(self, chain_program):
+        target = Box((10, 0, 0), (20, 4, 4))
+        plan = required_regions(chain_program, target)
+        assert plan.compute_points() == (10 + 12 + 14) * 16
+
+    def test_halo_depth(self, chain_program):
+        lo, hi = program_halo_depth(chain_program)
+        assert lo == (2, 0, 0)
+        assert hi == (2, 0, 0)
+
+    def test_stage_expansions(self, chain_program):
+        expansions = stage_expansions(chain_program)
+        assert expansions[2] == ((0, 0, 0), (0, 0, 0))
+        assert expansions[1] == ((1, 0, 0), (1, 0, 0))
+        assert expansions[0] == ((2, 0, 0), (2, 0, 0))
+
+
+class TestUnusedStages:
+    def test_stage_not_feeding_output_gets_empty_box(self):
+        program = StencilProgram.build(
+            "dead",
+            inputs=(Field("x", FieldRole.INPUT),),
+            stages=(
+                Stage("used", "t", Access("x")),
+                Stage("dead", "d", Access("x") * 2.0),
+                Stage("out", "y", Access("t") + 1.0),
+            ),
+            outputs=("y",),
+        )
+        plan = required_regions(program, Box((0, 0, 0), (4, 4, 4)))
+        assert plan.stage_boxes[1].is_empty()
+        assert not plan.stage_boxes[0].is_empty()
+
+
+class TestMpdataHalos:
+    def test_mpdata_halo_depth(self, mpdata):
+        lo, hi = program_halo_depth(mpdata)
+        # Transitive stage-compute halo of the 17-stage chain: 2 below and
+        # 3 above on every axis (face-staggered arrays skew it upward).
+        assert lo == (2, 2, 2)
+        assert hi == (3, 3, 3)
+
+    def test_targets_always_contained(self, mpdata):
+        target = Box((8, 8, 8), (16, 16, 16))
+        plan = required_regions(mpdata, target)
+        for stage, box in zip(mpdata.stages, plan.stage_boxes):
+            if stage.output == "x_out":
+                assert box == target
+        # Final stage exactly covers the target; everything else covers it.
+        for box in plan.stage_boxes:
+            assert box.contains(target)
+
+    def test_no_clip_no_extra_for_whole_domain_interior(self, mpdata):
+        domain = Box((0, 0, 0), (32, 24, 16))
+        plan = required_regions(mpdata, domain, domain=domain)
+        assert plan.extra_points() == 0
+
+
+class TestPlanProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        lo=st.integers(5, 15),
+        width=st.integers(1, 10),
+        cross=st.integers(1, 6),
+    )
+    def test_monotone_in_target(self, chain_program, lo, width, cross):
+        """A larger target never needs smaller stage regions."""
+        small = Box((lo, 0, 0), (lo + width, cross, cross))
+        large = Box((lo - 1, 0, 0), (lo + width + 1, cross, cross))
+        plan_small = required_regions(chain_program, small)
+        plan_large = required_regions(chain_program, large)
+        for a, b in zip(plan_small.stage_boxes, plan_large.stage_boxes):
+            assert b.contains(a)
+
+    @settings(max_examples=30, deadline=None)
+    @given(lo=st.integers(0, 10), width=st.integers(1, 8))
+    def test_clipped_plan_subset_of_unclipped(self, chain_program, lo, width):
+        domain = Box((0, 0, 0), (24, 4, 4))
+        target = Box((lo, 0, 0), (lo + width, 4, 4))
+        clipped = required_regions(chain_program, target, domain=domain)
+        free = required_regions(chain_program, target)
+        for a, b in zip(clipped.stage_boxes, free.stage_boxes):
+            assert b.contains(a)
+        assert clipped.extra_points() <= free.extra_points()

@@ -1,0 +1,58 @@
+"""Tests for the program pretty-printer and the CLI show command."""
+
+import pytest
+
+from repro.cli import main
+from repro.stencil import describe_program, describe_stage_table, jacobi7
+
+
+class TestDescribe:
+    def test_stage_table_lists_all_stages(self, mpdata):
+        text = describe_stage_table(mpdata)
+        for stage in mpdata.stages:
+            assert stage.name in text
+
+    def test_describe_program_sections(self, mpdata):
+        text = describe_program(mpdata)
+        assert "inputs:      x, u1, u2, u3, h" in text
+        assert "outputs:     x_out" in text
+        assert "218 arithmetic flops" in text
+        assert "{1,2,3}" in text  # the flux level
+
+    def test_pointwise_stage_marked(self, mpdata):
+        text = describe_stage_table(mpdata)
+        assert "point" in text  # beta stages read only at (0,0,0)
+
+    def test_single_stage_program(self):
+        text = describe_program(jacobi7())
+        assert "1 stages" in text
+        assert "temporaries: -" in text
+
+    def test_chain_dependencies(self, chain_program):
+        text = describe_stage_table(chain_program)
+        lines = text.splitlines()
+        # s3 depends on stage 2, s2 on stage 1, s1 on inputs only.
+        assert any("s3" in line and line.rstrip().endswith("2") for line in lines)
+        assert any("s1" in line and line.rstrip().endswith("-") for line in lines)
+
+
+class TestShowCommand:
+    def test_show_default_is_mpdata(self, capsys):
+        assert main(["show"]) == 0
+        out = capsys.readouterr().out
+        assert "mpdata3d_nonosc" in out
+        assert "17 stages" in out
+
+    def test_show_gallery_program(self, capsys):
+        assert main(["show", "star3d"]) == 0
+        assert "star3d" in capsys.readouterr().out
+
+    def test_show_variant_flags(self, capsys):
+        assert main(["show", "mpdata", "--iord", "3", "--no-fct"]) == 0
+        out = capsys.readouterr().out
+        assert "mpdata3d_iord3" in out
+        assert "12 stages" in out
+
+    def test_show_unknown_program(self, capsys):
+        assert main(["show", "pentadiagonal"]) == 1
+        assert "known:" in capsys.readouterr().out

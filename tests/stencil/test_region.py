@@ -1,0 +1,146 @@
+"""Unit and property tests for 3D index boxes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stencil import Box, full_box
+
+coords = st.integers(min_value=-20, max_value=20)
+sizes = st.integers(min_value=0, max_value=12)
+
+
+def boxes():
+    return st.builds(
+        lambda lo, shape: Box(lo, tuple(l + s for l, s in zip(lo, shape))),
+        st.tuples(coords, coords, coords),
+        st.tuples(sizes, sizes, sizes),
+    )
+
+
+class TestBasics:
+    def test_shape_and_size(self):
+        box = Box((1, 2, 3), (4, 6, 9))
+        assert box.shape == (3, 4, 6)
+        assert box.size == 72
+
+    def test_empty_box(self):
+        assert Box((0, 0, 0), (0, 5, 5)).is_empty()
+        assert Box((0, 0, 0), (0, 5, 5)).size == 0
+        assert not Box((0, 0, 0), (1, 1, 1)).is_empty()
+
+    def test_requires_3d(self):
+        with pytest.raises(ValueError):
+            Box((0, 0), (1, 1))
+
+    def test_full_box(self):
+        assert full_box((4, 5, 6)) == Box((0, 0, 0), (4, 5, 6))
+
+    def test_contains_point(self):
+        box = Box((0, 0, 0), (2, 2, 2))
+        assert box.contains_point((1, 1, 1))
+        assert not box.contains_point((2, 0, 0))
+
+    def test_points_enumeration(self):
+        box = Box((0, 0, 0), (2, 1, 2))
+        assert list(box.points()) == [(0, 0, 0), (0, 0, 1), (1, 0, 0), (1, 0, 1)]
+
+
+class TestAlgebra:
+    def test_shift(self):
+        assert Box((0, 0, 0), (2, 2, 2)).shift((1, -1, 0)) == Box(
+            (1, -1, 0), (3, 1, 2)
+        )
+
+    def test_expand(self):
+        box = Box((4, 0, 0), (8, 4, 4)).expand((1, 0, 0), (2, 0, 0))
+        assert box == Box((3, 0, 0), (10, 4, 4))
+
+    def test_expand_for_reads_covers_all_offsets(self):
+        box = Box((5, 5, 5), (10, 10, 10))
+        grown = box.expand_for_reads([(-2, 0, 0), (0, 3, 0), (0, 0, 0)])
+        assert grown == Box((3, 5, 5), (10, 13, 10))
+
+    def test_expand_for_reads_empty_offsets(self):
+        box = Box((0, 0, 0), (2, 2, 2))
+        assert box.expand_for_reads([]) == box
+
+    def test_intersect(self):
+        a = Box((0, 0, 0), (5, 5, 5))
+        b = Box((3, 3, 3), (8, 8, 8))
+        assert a.intersect(b) == Box((3, 3, 3), (5, 5, 5))
+
+    def test_disjoint_intersection_is_empty(self):
+        a = Box((0, 0, 0), (2, 2, 2))
+        b = Box((5, 5, 5), (6, 6, 6))
+        assert a.intersect(b).is_empty()
+
+    def test_hull(self):
+        a = Box((0, 0, 0), (2, 2, 2))
+        b = Box((5, 5, 5), (6, 6, 6))
+        assert a.hull(b) == Box((0, 0, 0), (6, 6, 6))
+
+    def test_hull_ignores_empty(self):
+        a = Box((0, 0, 0), (2, 2, 2))
+        empty = Box((9, 9, 9), (9, 9, 9))
+        assert a.hull(empty) == a
+        assert empty.hull(a) == a
+
+    def test_contains(self):
+        outer = Box((0, 0, 0), (10, 10, 10))
+        assert outer.contains(Box((2, 2, 2), (5, 5, 5)))
+        assert not outer.contains(Box((2, 2, 2), (11, 5, 5)))
+        assert outer.contains(Box((3, 3, 3), (3, 3, 3)))  # empty
+
+    def test_slices(self):
+        box = Box((2, 3, 4), (5, 6, 7))
+        assert box.slices(origin=(1, 1, 1)) == (
+            slice(1, 4),
+            slice(2, 5),
+            slice(3, 6),
+        )
+
+    def test_translate_to_origin(self):
+        assert Box((2, 3, 4), (4, 6, 8)).translate_to_origin() == Box(
+            (0, 0, 0), (2, 3, 4)
+        )
+
+
+class TestProperties:
+    @given(boxes(), boxes())
+    def test_intersection_commutes(self, a, b):
+        left = a.intersect(b)
+        right = b.intersect(a)
+        assert left.is_empty() == right.is_empty()
+        if not left.is_empty():
+            assert left == right
+
+    @given(boxes(), boxes())
+    def test_intersection_contained_in_both(self, a, b):
+        inter = a.intersect(b)
+        assert a.contains(inter)
+        assert b.contains(inter)
+
+    @given(boxes(), boxes())
+    def test_hull_contains_both(self, a, b):
+        hull = a.hull(b)
+        assert hull.contains(a) or a.is_empty()
+        assert hull.contains(b) or b.is_empty()
+
+    @given(boxes(), st.tuples(coords, coords, coords))
+    def test_shift_preserves_size(self, box, offset):
+        assert box.shift(offset).size == box.size
+
+    @given(
+        boxes(),
+        st.lists(
+            st.tuples(
+                st.integers(-3, 3), st.integers(-3, 3), st.integers(-3, 3)
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    def test_expand_for_reads_covers_every_shift(self, box, offsets):
+        grown = box.expand_for_reads(offsets)
+        for off in offsets:
+            assert grown.contains(box.shift(off)) or box.is_empty()

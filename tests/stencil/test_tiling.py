@@ -1,0 +1,106 @@
+"""Tests for the (3+1)D block planner and axis splitting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stencil import (
+    Box,
+    full_box,
+    plan_blocks,
+    split_axis,
+    working_set_bytes,
+)
+
+
+class TestSplitAxis:
+    def test_even_split(self):
+        assert split_axis(12, 3) == [(0, 4), (4, 8), (8, 12)]
+
+    def test_remainder_goes_to_leading_parts(self):
+        assert split_axis(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_origin_offset(self):
+        assert split_axis(4, 2, origin=10) == [(10, 12), (12, 14)]
+
+    def test_rejects_more_parts_than_cells(self):
+        with pytest.raises(ValueError):
+            split_axis(3, 4)
+
+    def test_rejects_nonpositive_parts(self):
+        with pytest.raises(ValueError):
+            split_axis(3, 0)
+
+    @given(
+        length=st.integers(1, 200),
+        parts=st.integers(1, 20),
+        origin=st.integers(-50, 50),
+    )
+    def test_split_properties(self, length, parts, origin):
+        if parts > length:
+            with pytest.raises(ValueError):
+                split_axis(length, parts, origin)
+            return
+        ranges = split_axis(length, parts, origin)
+        assert len(ranges) == parts
+        assert ranges[0][0] == origin
+        assert ranges[-1][1] == origin + length
+        sizes = [b - a for a, b in ranges]
+        assert sum(sizes) == length
+        assert max(sizes) - min(sizes) <= 1  # near-equal, as the paper needs
+        for (_, prev_hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert prev_hi == lo
+
+
+class TestWorkingSet:
+    def test_counts_all_fields_with_halo(self, chain_program):
+        # chain: 4 fields (x, a, b, y) x 8 B; halo 2 per side in i only.
+        ws = working_set_bytes(chain_program, (4, 4, 4))
+        assert ws == 4 * 8 * (4 + 4) * 4 * 4
+
+    def test_monotone_in_block_size(self, mpdata):
+        small = working_set_bytes(mpdata, (8, 8, 8))
+        large = working_set_bytes(mpdata, (16, 8, 8))
+        assert large > small
+
+
+class TestPlanBlocks:
+    def test_blocks_tile_domain(self, mpdata):
+        domain = full_box((64, 48, 16))
+        plan = plan_blocks(mpdata, domain, cache_bytes=2 * 1024 * 1024)
+        plan.validate_partition()
+        assert plan.count > 1
+
+    def test_working_set_fits_budget(self, mpdata):
+        budget = 4 * 1024 * 1024
+        plan = plan_blocks(mpdata, full_box((128, 128, 32)), budget)
+        assert plan.working_set <= budget
+
+    def test_whole_domain_single_block_when_cache_is_huge(self, mpdata):
+        domain = full_box((32, 32, 8))
+        plan = plan_blocks(mpdata, domain, cache_bytes=10**12)
+        assert plan.count == 1
+        assert plan.blocks[0] == domain
+
+    def test_budget_too_small_rejected(self, mpdata):
+        with pytest.raises(ValueError, match="cache budget"):
+            plan_blocks(mpdata, full_box((256, 256, 64)), cache_bytes=1024)
+
+    def test_empty_domain_rejected(self, mpdata):
+        with pytest.raises(ValueError, match="empty"):
+            plan_blocks(mpdata, Box((0, 0, 0), (0, 4, 4)), 10**6)
+
+    def test_keeps_k_whole_by_default(self, mpdata):
+        plan = plan_blocks(mpdata, full_box((256, 256, 16)), 8 * 1024 * 1024)
+        assert plan.block_shape[2] == 16
+
+    def test_blocks_ordered_i_major(self, mpdata):
+        plan = plan_blocks(mpdata, full_box((64, 64, 8)), 2 * 1024 * 1024)
+        i_los = [b.lo[0] for b in plan.blocks]
+        assert i_los == sorted(i_los)
+
+    def test_sub_domain_blocking(self, mpdata):
+        """Blocking an island's slab (non-origin domain) works too."""
+        slab = Box((32, 0, 0), (64, 48, 16))
+        plan = plan_blocks(mpdata, slab, 2 * 1024 * 1024)
+        plan.validate_partition()
+        assert all(slab.contains(b) for b in plan.blocks)

@@ -1,0 +1,210 @@
+"""Tests for semantics-preserving program transformations."""
+
+import numpy as np
+import pytest
+
+from repro.stencil import (
+    Access,
+    ArrayRegion,
+    Box,
+    Field,
+    FieldRole,
+    Stage,
+    StencilProgram,
+    eliminate_dead_stages,
+    execute,
+    inline_all_temporaries,
+    inline_stage,
+    schedule_by_levels,
+    shift_expr,
+    substitute_field,
+)
+
+
+def _run(program, x, target, lo=(-4, 0, 0)):
+    inputs = {"x": ArrayRegion.wrap(x, lo=lo)}
+    results, _ = execute(program, inputs, target)
+    (output,) = [f.name for f in program.output_fields]
+    return results[output].view(target)
+
+
+@pytest.fixture()
+def diamond_program():
+    """x -> a, b (independent) -> y; plus one dead stage d."""
+    return StencilProgram.build(
+        "diamond",
+        inputs=(Field("x", FieldRole.INPUT),),
+        stages=(
+            Stage("a", "a", Access("x", (-1, 0, 0)) * 2.0),
+            Stage("dead", "d", Access("x") + 5.0),
+            Stage("b", "b", Access("x", (1, 0, 0)) + 1.0),
+            Stage("y", "y", Access("a", (0, 1, 0)) + Access("b", (0, -1, 0))),
+        ),
+        outputs=("y",),
+    )
+
+
+class TestShiftExpr:
+    def test_shift_access(self):
+        shifted = shift_expr(Access("f", (1, 0, -1)), (1, 2, 3))
+        assert shifted == Access("f", (2, 2, 2))
+
+    def test_shift_tree(self):
+        expr = Access("a") + Access("b", (0, 1, 0)) * 2.0
+        shifted = shift_expr(expr, (1, 0, 0))
+        fp = shifted.footprint()
+        assert fp == {"a": {(1, 0, 0)}, "b": {(1, 1, 0)}}
+
+    def test_constants_untouched(self):
+        from repro.stencil import Const
+
+        assert shift_expr(Const(3.0), (1, 1, 1)) == Const(3.0)
+
+    def test_shift_semantics(self):
+        """shift(e, d) at p equals e at p+d."""
+        rng = np.random.default_rng(0)
+        arr = rng.random((8, 8, 8))
+
+        def resolve(name, offset):
+            return np.roll(arr, tuple(-d for d in offset), axis=(0, 1, 2))
+
+        expr = Access("f", (1, 0, 0)) * 2.0 + Access("f", (0, -1, 0))
+        shifted = shift_expr(expr, (0, 0, 1))
+        np.testing.assert_array_equal(
+            shifted.evaluate(resolve),
+            np.roll(expr.evaluate(resolve), -1, axis=2),
+        )
+
+
+class TestSubstitute:
+    def test_replaces_with_shifted_definition(self):
+        definition = Access("x", (-1, 0, 0)) + Access("x", (1, 0, 0))
+        consumer = Access("t", (0, 1, 0)) * 3.0
+        result = substitute_field(consumer, "t", definition)
+        fp = result.footprint()
+        assert fp == {"x": {(-1, 1, 0), (1, 1, 0)}}
+
+    def test_leaves_other_fields(self):
+        consumer = Access("u") + Access("t")
+        result = substitute_field(consumer, "t", Access("x"))
+        assert result.footprint() == {"u": {(0, 0, 0)}, "x": {(0, 0, 0)}}
+
+
+class TestDeadStageElimination:
+    def test_removes_dead_stage(self, diamond_program):
+        cleaned = eliminate_dead_stages(diamond_program)
+        assert [s.name for s in cleaned.stages] == ["a", "b", "y"]
+        assert "d" not in {f.name for f in cleaned.fields}
+
+    def test_removes_dead_chains(self):
+        program = StencilProgram.build(
+            "chain-dead",
+            inputs=(Field("x", FieldRole.INPUT),),
+            stages=(
+                Stage("d1", "d1", Access("x")),
+                Stage("d2", "d2", Access("d1") * 2.0),
+                Stage("y", "y", Access("x") + 1.0),
+            ),
+            outputs=("y",),
+        )
+        cleaned = eliminate_dead_stages(program)
+        assert [s.name for s in cleaned.stages] == ["y"]
+
+    def test_preserves_values(self, diamond_program):
+        rng = np.random.default_rng(1)
+        x = rng.random((16, 16, 4))
+        target = Box((0, 0, 0), (8, 8, 4))
+        np.testing.assert_array_equal(
+            _run(diamond_program, x, target, lo=(-4, -4, 0)),
+            _run(eliminate_dead_stages(diamond_program), x, target, lo=(-4, -4, 0)),
+        )
+
+    def test_mpdata_unchanged(self, mpdata):
+        assert eliminate_dead_stages(mpdata) == mpdata
+
+
+class TestLevelSchedule:
+    def test_level_order(self, diamond_program):
+        scheduled = schedule_by_levels(diamond_program)
+        names = [s.name for s in scheduled.stages]
+        assert names == ["a", "dead", "b", "y"]
+
+    def test_preserves_values(self, mpdata):
+        from repro.mpdata import MpdataSolver, random_state
+
+        shape = (12, 10, 8)
+        state = random_state(shape, seed=9)
+        original = MpdataSolver(shape, program=mpdata).step(state)
+        scheduled = MpdataSolver(
+            shape, program=schedule_by_levels(mpdata)
+        ).step(state)
+        np.testing.assert_array_equal(original, scheduled)
+
+    def test_mpdata_fluxes_grouped(self, mpdata):
+        scheduled = schedule_by_levels(mpdata)
+        names = [s.name for s in scheduled.stages[:3]]
+        assert names == ["flux_i", "flux_j", "flux_k"]
+
+
+class TestInlining:
+    def test_inline_single_stage_preserves_values(self, chain_program):
+        rng = np.random.default_rng(2)
+        x = rng.random((20, 4, 4))
+        target = Box((0, 0, 0), (8, 4, 4))
+        inlined = inline_stage(chain_program, "s2")
+        assert len(inlined.stages) == 2
+        np.testing.assert_array_equal(
+            _run(chain_program, x, target), _run(inlined, x, target)
+        )
+
+    def test_inline_widens_footprint(self, chain_program):
+        inlined = inline_stage(chain_program, "s2")
+        final = inlined.stages[-1]
+        # y now reads a at +-2 directly.
+        assert final.footprint["a"] == {(-2, 0, 0), (0, 0, 0), (2, 0, 0)}
+
+    def test_inline_grows_flops(self, chain_program):
+        inlined = inline_stage(chain_program, "s2")
+        assert inlined.flops_per_point > chain_program.flops_per_point - 1
+
+    def test_cannot_inline_output(self, chain_program):
+        with pytest.raises(ValueError, match="temporaries"):
+            inline_stage(chain_program, "s3")
+
+    def test_inline_all_reaches_single_stage(self, chain_program):
+        mega = inline_all_temporaries(chain_program)
+        assert len(mega.stages) == 1
+        # The mega-stage reads x at offsets -3..3 (odd offsets cancel out
+        # structurally, but every combination +-1+-1+-1 appears).
+        offsets = {o[0] for o in mega.stages[0].footprint["x"]}
+        assert offsets == {-3, -1, 1, 3}
+
+    def test_inline_all_preserves_values(self, chain_program):
+        rng = np.random.default_rng(3)
+        x = rng.random((20, 4, 4))
+        target = Box((0, 0, 0), (8, 4, 4))
+        mega = inline_all_temporaries(chain_program)
+        np.testing.assert_array_equal(
+            _run(chain_program, x, target), _run(mega, x, target)
+        )
+
+    def test_growth_budget_respected(self, mpdata):
+        limited = inline_all_temporaries(mpdata, max_flop_growth=1.05)
+        assert limited.flops_per_point <= mpdata.flops_per_point * 1.05
+        # With such a tight budget, some temporaries must survive.
+        assert len(limited.temporary_fields) > 0
+
+    def test_budget_validation(self, chain_program):
+        with pytest.raises(ValueError):
+            inline_all_temporaries(chain_program, max_flop_growth=0.5)
+
+    def test_inline_removes_intermediate_halo_from_schedule(self, chain_program):
+        """After full inlining there is no intermediate to recompute:
+        all redundancy moves into the input halo."""
+        from repro.stencil import required_regions
+
+        mega = inline_all_temporaries(chain_program)
+        target = Box((8, 0, 0), (16, 4, 4))
+        plan = required_regions(mega, target)
+        assert plan.extra_points() == 0
+        assert plan.input_boxes["x"] == Box((5, 0, 0), (19, 4, 4))

@@ -1,0 +1,85 @@
+"""Tests for lints, dependency levels and liveness analysis."""
+
+from repro.stencil import (
+    Access,
+    Field,
+    FieldRole,
+    Stage,
+    StencilProgram,
+    dependency_levels,
+    lint_program,
+    liveness_spans,
+)
+
+
+def _program(stages, inputs=("x",), outputs=("y",)):
+    return StencilProgram.build(
+        "t",
+        inputs=tuple(Field(n, FieldRole.INPUT) for n in inputs),
+        stages=stages,
+        outputs=outputs,
+    )
+
+
+class TestLint:
+    def test_clean_program(self, chain_program):
+        assert lint_program(chain_program) == []
+
+    def test_mpdata_is_clean(self, mpdata):
+        assert lint_program(mpdata) == []
+
+    def test_dead_temporary_flagged(self):
+        program = _program(
+            (
+                Stage("dead", "d", Access("x") * 2.0),
+                Stage("out", "y", Access("x") + 1.0),
+            )
+        )
+        warnings = lint_program(program)
+        assert len(warnings) == 1
+        assert "dead" in warnings[0]
+
+    def test_unread_input_flagged(self):
+        program = _program(
+            (Stage("out", "y", Access("x")),), inputs=("x", "unused")
+        )
+        warnings = lint_program(program)
+        assert any("unused" in w for w in warnings)
+
+
+class TestDependencyLevels:
+    def test_chain_is_fully_sequential(self, chain_program):
+        assert dependency_levels(chain_program) == [[0], [1], [2]]
+
+    def test_independent_stages_share_level(self):
+        program = _program(
+            (
+                Stage("a", "a", Access("x") + 1.0),
+                Stage("b", "b", Access("x") + 2.0),
+                Stage("out", "y", Access("a") + Access("b")),
+            )
+        )
+        assert dependency_levels(program) == [[0, 1], [2]]
+
+    def test_mpdata_levels(self, mpdata):
+        levels = dependency_levels(mpdata)
+        # The three donor fluxes are independent (level 0); the final
+        # corrected update depends on everything and sits alone at the end.
+        assert set(levels[0]) == {0, 1, 2}
+        assert levels[-1] == [16]
+        # Exactly 17 stages distributed over the levels.
+        assert sum(len(level) for level in levels) == 17
+
+
+class TestLiveness:
+    def test_chain_spans(self, chain_program):
+        spans = liveness_spans(chain_program)
+        assert spans["a"] == (0, 1)
+        assert spans["b"] == (1, 2)
+        assert spans["y"] == (2, 2)
+
+    def test_mpdata_x_ant_lives_to_the_end(self, mpdata):
+        spans = liveness_spans(mpdata)
+        birth, last = spans["x_ant"]
+        assert birth == 3  # stage 4
+        assert last == 16  # read by the corrected update

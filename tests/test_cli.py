@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table_commands_parse(self):
+        for command in (
+            "table1", "table2", "table3", "table4", "traffic",
+            "ablations", "future-work", "generality", "duel", "energy",
+            "autotune", "deviation", "all",
+            "calibrate",
+        ):
+            args = build_parser().parse_args([command])
+            assert args.command == command
+
+    def test_verify_defaults(self):
+        args = build_parser().parse_args(["verify"])
+        assert tuple(args.shape) == (24, 16, 8)
+        assert args.steps == 2
+
+    def test_recommend_options(self):
+        args = build_parser().parse_args(
+            ["recommend", "-P", "8", "--shape", "64", "32", "16"]
+        )
+        assert args.processors == 8
+        assert tuple(args.shape) == (64, 32, 16)
+
+
+class TestCommands:
+    def test_table2_output(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "B(paper)" in out
+
+    def test_table4_output(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "sustained performance" in out
+
+    def test_verify_passes(self, capsys):
+        code = main(
+            ["verify", "--shape", "14", "12", "8", "--islands", "2", "--steps", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2/2 configurations bit-exact" in out
+
+    def test_calibrate_output(self, capsys):
+        assert main(["calibrate"]) == 0
+        out = capsys.readouterr().out
+        assert "616 B/point/step" in out
+        assert "fused_flops" in out
+
+    def test_recommend_output(self, capsys):
+        assert main(["recommend", "-P", "4", "--steps", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "best first" in out
+        assert "islands" in out
