@@ -1,0 +1,90 @@
+"""Benchmark: the steady-state execution engine vs naive per-step allocation.
+
+Times 10 steps of the Table 1 MPDATA configuration scaled to a
+single-process grid (128x64x16, 4 islands) in both interpreter and
+compiled execution, naive vs engine, and writes ``BENCH_steady_state.json``
+at the repository root so future PRs have a perf trajectory.
+
+Run standalone (writes the JSON):
+
+.. code-block:: console
+
+    python benchmarks/bench_steady_state.py            # full config
+    python benchmarks/bench_steady_state.py --smoke    # tiny, no JSON
+
+or under the benchmark suite: ``pytest benchmarks/bench_steady_state.py``.
+The tier-1 test suite exercises the same measurement in smoke mode
+(``tests/runtime/test_steady_state.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+FULL_SHAPE = (128, 64, 16)
+FULL_STEPS = 10
+SMOKE_SHAPE = (32, 16, 8)
+SMOKE_STEPS = 3
+ISLANDS = 4
+DEFAULT_JSON = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_steady_state.json"
+)
+
+
+def run(smoke: bool = False, json_path=None):
+    """Measure naive vs engine; returns {variant: SteadyStateReport}."""
+    from repro.runtime import measure_steady_state
+
+    shape = SMOKE_SHAPE if smoke else FULL_SHAPE
+    steps = SMOKE_STEPS if smoke else FULL_STEPS
+    reports = {
+        "interpreted": measure_steady_state(
+            shape=shape, steps=steps, islands=ISLANDS, compiled=False
+        ),
+        "compiled": measure_steady_state(
+            shape=shape, steps=steps, islands=ISLANDS, compiled=True
+        ),
+    }
+    if json_path is not None:
+        payload = {name: report.to_dict() for name, report in reports.items()}
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+    return reports
+
+
+def bench_steady_state_engine(benchmark, record_table):
+    """Benchmark-suite entry: smoke-sized, records the rendered tables."""
+    reports = benchmark.pedantic(run, kwargs={"smoke": True}, rounds=1, iterations=1)
+    record_table(
+        "\n\n".join(report.render() for report in reports.values())
+    )
+    for report in reports.values():
+        assert report.bit_identical
+        assert report.modes["engine"]["allocations_per_step"] == 0.0
+
+
+def main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny config, no JSON")
+    parser.add_argument("--json", default=None, metavar="PATH")
+    args = parser.parse_args()
+    json_path = args.json
+    if json_path is None and not args.smoke:
+        json_path = DEFAULT_JSON
+    reports = run(smoke=args.smoke, json_path=json_path)
+    for name, report in reports.items():
+        print(f"== {name} ==")
+        print(report.render())
+        print()
+    if json_path is not None:
+        print(f"wrote {json_path}")
+    return 0 if all(r.bit_identical for r in reports.values()) else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -11,6 +11,7 @@ strategy for a workload:
     python -m repro verify              # bit-exactness sweep
     python -m repro calibrate           # re-fit and print the cost model
     python -m repro recommend -P 14     # rank strategies for a config
+    python -m repro engine              # steady-state engine counters
 """
 
 from __future__ import annotations
@@ -87,6 +88,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--shape", type=int, nargs=3, default=(1024, 512, 64), metavar="N"
     )
     recommend.add_argument("--steps", type=int, default=50)
+
+    engine = sub.add_parser(
+        "engine",
+        help="steady-state engine: allocation / reuse counters, naive vs engine",
+    )
+    engine.add_argument(
+        "--shape", type=int, nargs=3, default=(128, 64, 16), metavar="N"
+    )
+    engine.add_argument("--steps", type=int, default=10)
+    engine.add_argument("--islands", type=int, default=4)
+    engine.add_argument("--threads", type=int, default=1)
+    engine.add_argument("--compiled", action="store_true")
+    engine.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the report as JSON (e.g. BENCH_steady_state.json)",
+    )
     return parser
 
 
@@ -221,6 +238,26 @@ def _run_show(name: str, iord: int, no_fct: bool) -> int:
     return 0
 
 
+def _run_engine(shape, steps, islands, threads, compiled, json_path) -> int:
+    from .runtime import measure_steady_state
+
+    report = measure_steady_state(
+        shape=tuple(shape),
+        steps=steps,
+        islands=islands,
+        threads=threads,
+        compiled=compiled,
+    )
+    print(report.render())
+    if json_path:
+        import json
+
+        with open(json_path, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"\nwrote {json_path}")
+    return 0 if report.bit_identical else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "show":
@@ -239,6 +276,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "recommend":
         _run_recommend(args.processors, args.shape, args.steps)
         return 0
+    if args.command == "engine":
+        return _run_engine(
+            args.shape, args.steps, args.islands, args.threads,
+            args.compiled, args.json,
+        )
     _run_tables(args.command)
     return 0
 

@@ -8,7 +8,13 @@ reference (:mod:`repro.mpdata.reference`), boundary handling
 (:mod:`repro.mpdata.fields`).
 """
 
-from .boundary import BOUNDARY_MODES, extend_array, extended_box, fill_ghosts
+from .boundary import (
+    BOUNDARY_MODES,
+    extend_array,
+    extend_array_into,
+    extended_box,
+    fill_ghosts,
+)
 from .cfl import CflReport, check_cfl, safe_courant_scale
 from .checkpoint import Checkpoint, load_checkpoint, save_checkpoint
 from .extensions import advection_decay_program, advection_diffusion_program
@@ -53,6 +59,7 @@ __all__ = [
     "check_cfl",
     "cone",
     "extend_array",
+    "extend_array_into",
     "extended_box",
     "fill_ghosts",
     "gaussian_blob",

@@ -22,7 +22,13 @@ import numpy as np
 
 from ..stencil import ArrayRegion, Box
 
-__all__ = ["BOUNDARY_MODES", "extend_array", "fill_ghosts", "extended_box"]
+__all__ = [
+    "BOUNDARY_MODES",
+    "extend_array",
+    "extend_array_into",
+    "fill_ghosts",
+    "extended_box",
+]
 
 BOUNDARY_MODES = ("periodic", "open")
 
@@ -61,6 +67,46 @@ def extend_array(
     data[core] = interior
     fill_ghosts(data, lo, hi, mode)
     return ArrayRegion(data, extended_box(interior.shape, lo, hi))  # type: ignore[arg-type]
+
+
+def extend_array_into(
+    interior: np.ndarray,
+    region: ArrayRegion,
+    lo: GhostWidths,
+    hi: GhostWidths,
+    mode: str = "periodic",
+) -> ArrayRegion:
+    """Refill a preallocated ghost-extended region in place.
+
+    The steady-state counterpart of :func:`extend_array`: instead of
+    allocating a fresh extended array every time step, the caller keeps
+    the :class:`ArrayRegion` returned by a previous :func:`extend_array`
+    and re-copies the (possibly updated) interior plus ghost layers into
+    it.  Bit-identical to a fresh extension — ghost filling is a pure
+    function of the interior — but allocation-free.
+
+    ``interior`` may alias storage the caller later overwrites (e.g. a
+    reused output buffer): the copy completes before this function
+    returns.  Returns ``region`` for convenience.
+    """
+    if mode not in BOUNDARY_MODES:
+        raise ValueError(f"unknown boundary mode {mode!r}")
+    interior = np.asarray(interior)
+    data = region.data
+    expected = tuple(
+        s + l + h for s, l, h in zip(interior.shape, lo, hi)
+    )
+    if tuple(data.shape) != expected:
+        raise ValueError(
+            f"extended buffer has shape {data.shape}, expected {expected} "
+            f"for interior {interior.shape} with ghosts {lo}/{hi}"
+        )
+    core = tuple(
+        slice(l, l + s) for l, s in zip(lo, interior.shape)
+    )
+    data[core] = interior
+    fill_ghosts(data, lo, hi, mode)
+    return region
 
 
 def fill_ghosts(

@@ -6,7 +6,8 @@ strategies compute exactly the same thing as the whole-domain reference.
 """
 
 from .diagnostics import RunHistory, RunRecorder, StepDiagnostics
-from .island_exec import MpdataIslandSolver, PartitionedRunner
+from .island_exec import MpdataIslandSolver, PartitionedRunner, StepStats
+from .steady import SteadyStateReport, measure_steady_state
 from .verify import VerificationResult, verify_islands, verify_variants
 
 __all__ = [
@@ -15,7 +16,10 @@ __all__ = [
     "RunRecorder",
     "StepDiagnostics",
     "PartitionedRunner",
+    "StepStats",
+    "SteadyStateReport",
     "VerificationResult",
+    "measure_steady_state",
     "verify_islands",
     "verify_variants",
 ]

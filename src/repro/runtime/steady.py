@@ -1,0 +1,173 @@
+"""Measurement harness for the steady-state execution engine.
+
+Runs the same partitioned MPDATA configuration twice — once in naive mode
+(every step re-allocates ghost buffers, stage storage, scratch and the
+output; the pre-engine behaviour) and once in steady-state mode (all of
+those persist across steps) — then reports per-step wall time and
+allocation counts, and checks the two trajectories are bit-identical.
+
+This is the per-process analogue of the paper's per-step overhead
+argument: Table 1's gap between the original and (3+1)D versions is halo
+traffic and synchronization paid every time step; here the analogous
+recurring cost is allocator traffic, and the engine eliminates it.  Used
+by ``python -m repro engine``, ``benchmarks/bench_steady_state.py`` and
+the tier-1 smoke test.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..mpdata.stages import FIELD_X
+from ..mpdata.fields import random_state
+from .island_exec import MpdataIslandSolver
+
+__all__ = ["SteadyStateReport", "measure_steady_state"]
+
+
+@dataclass
+class SteadyStateReport:
+    """Naive vs steady-state engine measurements for one configuration."""
+
+    shape: Tuple[int, int, int]
+    islands: int
+    threads: int
+    steps: int
+    compiled: bool
+    bit_identical: bool
+    #: mode name -> {"step_time_s", "allocations_per_step", "reused_per_step",
+    #:               "warmup_allocations"}
+    modes: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def allocation_ratio(self) -> float:
+        """Naive allocations per steady-state step over the engine's."""
+        naive = self.modes["naive"]["allocations_per_step"]
+        engine = self.modes["engine"]["allocations_per_step"]
+        return naive / engine if engine else float("inf")
+
+    @property
+    def speedup(self) -> float:
+        """Naive step time over engine step time (>1 means engine faster)."""
+        engine = self.modes["engine"]["step_time_s"]
+        return self.modes["naive"]["step_time_s"] / engine if engine else float("inf")
+
+    def to_dict(self) -> Dict[str, object]:
+        # A zero-allocation engine makes the ratio infinite; strict JSON
+        # has no Infinity literal, so serialize that case as null.
+        ratio = self.allocation_ratio
+        return {
+            "shape": list(self.shape),
+            "islands": self.islands,
+            "threads": self.threads,
+            "steps": self.steps,
+            "compiled": self.compiled,
+            "bit_identical": self.bit_identical,
+            "modes": self.modes,
+            "allocation_ratio": ratio if np.isfinite(ratio) else None,
+            "speedup": self.speedup,
+        }
+
+    def render(self) -> str:
+        ni, nj, nk = self.shape
+        lines = [
+            "Steady-state execution engine "
+            f"({ni}x{nj}x{nk}, {self.islands} islands, "
+            f"{self.threads} threads, {self.steps} steps, "
+            f"{'compiled' if self.compiled else 'interpreted'})",
+            f"{'mode':<8} {'step time':>12} {'allocs/step':>12} "
+            f"{'reused/step':>12} {'warm-up allocs':>15}",
+        ]
+        for mode in ("naive", "engine"):
+            numbers = self.modes[mode]
+            lines.append(
+                f"{mode:<8} {numbers['step_time_s'] * 1e3:>10.2f} ms "
+                f"{numbers['allocations_per_step']:>12.1f} "
+                f"{numbers['reused_per_step']:>12.1f} "
+                f"{numbers['warmup_allocations']:>15.0f}"
+            )
+        ratio = self.allocation_ratio
+        ratio_text = "inf" if ratio == float("inf") else f"{ratio:.1f}"
+        lines.append(
+            f"allocation ratio (naive/engine): {ratio_text}x,  "
+            f"speedup: {self.speedup:.2f}x,  "
+            f"bit-identical: {self.bit_identical}"
+        )
+        return "\n".join(lines)
+
+
+def _run_mode(
+    solver: MpdataIslandSolver, state, steps: int
+) -> Tuple[np.ndarray, Dict[str, float], float]:
+    """Warm up one step, then time ``steps`` more, mirroring ``run()``."""
+    state.validate()
+    arrays = solver._arrays(state)
+    arrays[FIELD_X] = np.asarray(state.x, dtype=solver.runner.dtype)
+
+    arrays[FIELD_X] = solver.runner.step(arrays)  # warm-up fills every buffer
+    warmup_allocations = solver.runner.last_step_stats.allocations
+
+    allocations = 0
+    reused = 0
+    begin = time.perf_counter()
+    for _ in range(steps):
+        arrays[FIELD_X] = solver.runner.step(arrays, changed={FIELD_X})
+        stats = solver.runner.last_step_stats
+        allocations += stats.allocations
+        reused += stats.reused
+    elapsed = time.perf_counter() - begin
+    numbers = {
+        "step_time_s": elapsed / steps,
+        "allocations_per_step": allocations / steps,
+        "reused_per_step": reused / steps,
+        "warmup_allocations": float(warmup_allocations),
+    }
+    return np.array(arrays[FIELD_X], copy=True), numbers, elapsed
+
+
+def measure_steady_state(
+    shape: Tuple[int, int, int] = (128, 64, 16),
+    steps: int = 10,
+    islands: int = 4,
+    threads: int = 1,
+    compiled: bool = False,
+    boundary: str = "periodic",
+    seed: int = 0,
+    state=None,
+) -> SteadyStateReport:
+    """Measure naive vs engine stepping on one configuration.
+
+    Both modes advance ``1 + steps`` identical time steps from the same
+    initial state (one warm-up step, then the timed steady-state window)
+    and must produce bit-identical trajectories.
+    """
+    if state is None:
+        state = random_state(shape, seed=seed)
+    report = SteadyStateReport(
+        shape=tuple(shape),
+        islands=islands,
+        threads=threads,
+        steps=steps,
+        compiled=compiled,
+        bit_identical=False,
+    )
+    results = {}
+    for mode, reuse in (("naive", False), ("engine", True)):
+        with MpdataIslandSolver(
+            shape,
+            islands,
+            boundary=boundary,
+            threads=threads,
+            compiled=compiled,
+            reuse_buffers=reuse,
+            reuse_output=reuse,
+        ) as solver:
+            final, numbers, _ = _run_mode(solver, state, steps)
+        results[mode] = final
+        report.modes[mode] = numbers
+    report.bit_identical = bool(np.array_equal(results["naive"], results["engine"]))
+    return report

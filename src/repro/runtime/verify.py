@@ -48,21 +48,33 @@ def verify_islands(
     boundary: str = "periodic",
     threads: int = 1,
     program: Optional[StencilProgram] = None,
+    compiled: bool = False,
+    reuse_buffers: bool = True,
+    reuse_output: bool = False,
 ) -> VerificationResult:
-    """Compare an islands run to the whole-domain run, bit for bit."""
+    """Compare an islands run to the whole-domain run, bit for bit.
+
+    ``compiled`` / ``reuse_buffers`` / ``reuse_output`` select the
+    steady-state engine configuration under test (see
+    :class:`~repro.runtime.island_exec.PartitionedRunner`); every
+    combination must reproduce the whole-domain reference exactly.
+    """
     whole = MpdataSolver(shape, boundary=boundary, program=program)
-    split = MpdataIslandSolver(
+    expected = whole.run(state, steps)
+    with MpdataIslandSolver(
         shape,
         islands,
         variant=variant,
         boundary=boundary,
         threads=threads,
         program=program,
-    )
-    expected = whole.run(state, steps)
-    actual = split.run(state, steps)
-    exact = bool(np.array_equal(expected, actual))
-    diff = float(np.abs(expected - actual).max()) if not exact else 0.0
+        compiled=compiled,
+        reuse_buffers=reuse_buffers,
+        reuse_output=reuse_output,
+    ) as split:
+        actual = split.run(state, steps)
+        exact = bool(np.array_equal(expected, actual))
+        diff = float(np.abs(expected - actual).max()) if not exact else 0.0
     return VerificationResult(islands, variant, steps, exact, diff)
 
 

@@ -19,6 +19,7 @@ from .expr import (
     Access,
     Binary,
     Const,
+    EvalArena,
     Expr,
     Offset,
     Unary,
@@ -32,7 +33,7 @@ from .expr import (
     sqrt,
 )
 from .autotune import TuningResult, autotune_blocks, candidate_shapes
-from .codegen import CompiledPlan, compile_plan, compile_program
+from .codegen import CompiledPlan, Workspace, compile_plan, compile_program
 from .field import Field, FieldRole
 from .gallery import (
     GALLERY,
@@ -59,7 +60,13 @@ from .flops import (
     program_cost,
 )
 from .halo import HaloPlan, program_halo_depth, required_regions, stage_expansions
-from .interpreter import ArrayRegion, ExecutionStats, execute, execute_plan
+from .interpreter import (
+    ArrayRegion,
+    ExecutionStats,
+    StageArena,
+    execute,
+    execute_plan,
+)
 from .pretty import describe_program, describe_stage_table
 from .program import ProgramError, StencilProgram
 from .region import Box, full_box
@@ -91,6 +98,7 @@ __all__ = [
     "Box",
     "CompiledPlan",
     "Const",
+    "EvalArena",
     "ExecutionStats",
     "Expr",
     "Field",
@@ -99,12 +107,14 @@ __all__ = [
     "Offset",
     "ProgramCost",
     "ProgramError",
+    "StageArena",
     "StageCost",
     "Stage",
     "StencilProgram",
     "TuningResult",
     "Unary",
     "Where",
+    "Workspace",
     "as_expr",
     "autotune_blocks",
     "biharmonic",

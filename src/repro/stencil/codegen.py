@@ -7,10 +7,23 @@ plain Python function whose body is straight-line NumPy code with constant
 slice bounds — no tree walking, no box arithmetic, no dictionary lookups in
 the hot path.
 
-The generated code calls the **same ufuncs in the same order** as the
-interpreter (``np.add(a, b)`` for ``Binary("add", a, b)`` and so on), so
-compiled execution is bit-identical to interpreted execution; a property
-test pins this.  The source is kept on the compiled object for inspection:
+The generated code is three-address form: every operator node becomes one
+ufunc call writing into an explicit ``out=`` destination — either the
+stage's output array or a numbered scratch slot handed out by a
+:class:`Workspace`.  Scratch slots are register-allocated at compile time
+(released the moment their consumer has fired), so a whole MPDATA step
+needs only a handful of flat buffers.  Because the generated statements
+call the **same ufuncs in the same order** as the interpreter's arena
+evaluator (``np.add(a, b, out=...)`` for ``Binary("add", a, b)`` and so
+on), compiled execution is bit-identical to interpreted execution; a
+property test pins this.
+
+By default every call uses a fresh workspace (results are independent
+arrays, as before).  Compiling with ``reuse_buffers=True`` — or flipping
+:attr:`CompiledPlan.persistent` later — pins one persistent workspace to
+the plan: stage outputs and scratch then live across calls and a
+steady-state step performs **zero** array allocations.  The source is kept
+on the compiled object for inspection:
 
 >>> from repro.mpdata import mpdata_program
 >>> from repro.stencil import full_box, required_regions, compile_plan
@@ -22,8 +35,8 @@ test pins this.  The source is kept on the compiled object for inspection:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -33,7 +46,7 @@ from .interpreter import ArrayRegion
 from .program import StencilProgram
 from .region import Box
 
-__all__ = ["CompiledPlan", "compile_plan", "compile_program"]
+__all__ = ["CompiledPlan", "Workspace", "compile_plan", "compile_program"]
 
 #: Source-level spellings of the interpreter's ufunc table.  Keeping the
 #: exact same callables is what guarantees bit-identical results.
@@ -55,12 +68,76 @@ _BINARY_SOURCE = {
 }
 
 
+class Workspace:
+    """Buffer provider for generated step functions.
+
+    The generated code asks for three kinds of arrays: per-stage output
+    arrays (``out``), numbered float scratch slots (``scratch``) and
+    numbered boolean mask slots (``mask``).  One workspace instance per
+    call gives the pre-engine behaviour (independent result arrays); a
+    workspace kept across calls recycles everything and reports zero
+    :attr:`allocations` in steady state.
+    """
+
+    __slots__ = ("dtype", "_outputs", "_scratch", "_masks", "allocations", "reuses")
+
+    def __init__(self, dtype: "np.dtype" = np.float64) -> None:
+        self.dtype = np.dtype(dtype)
+        self._outputs: Dict[str, np.ndarray] = {}
+        self._scratch: Dict[int, np.ndarray] = {}
+        self._masks: Dict[int, np.ndarray] = {}
+        self.allocations = 0
+        self.reuses = 0
+
+    def out(self, name: str, shape: Tuple[int, ...]) -> np.ndarray:
+        """The output array for stage field ``name`` (contents undefined)."""
+        cached = self._outputs.get(name)
+        if cached is not None and cached.shape == shape:
+            self.reuses += 1
+            return cached
+        array = np.empty(shape, dtype=self.dtype)
+        self._outputs[name] = array
+        self.allocations += 1
+        return array
+
+    def _slot(
+        self,
+        table: Dict[int, np.ndarray],
+        index: int,
+        shape: Tuple[int, ...],
+        dtype: "np.dtype",
+    ) -> np.ndarray:
+        need = 1
+        for extent in shape:
+            need *= extent
+        base = table.get(index)
+        if base is None or base.size < need:
+            base = np.empty(need, dtype=dtype)
+            table[index] = base
+            self.allocations += 1
+        else:
+            self.reuses += 1
+        return base[:need].reshape(shape)
+
+    def scratch(self, index: int, shape: Tuple[int, ...]) -> np.ndarray:
+        """Float scratch slot ``index``, reshaped to ``shape``."""
+        return self._slot(self._scratch, index, shape, self.dtype)
+
+    def mask(self, index: int, shape: Tuple[int, ...]) -> np.ndarray:
+        """Boolean mask slot ``index``, reshaped to ``shape``."""
+        return self._slot(self._masks, index, shape, np.dtype(bool))
+
+
 @dataclass
 class CompiledPlan:
     """A stencil program specialized to one halo plan.
 
     Call it with the same inputs the interpreter takes; it returns the same
-    outputs (``ArrayRegion`` per output field), bit for bit.
+    outputs (``ArrayRegion`` per output field), bit for bit.  With
+    :attr:`persistent` set (or ``compile_plan(..., reuse_buffers=True)``)
+    all result and scratch arrays are owned by one long-lived
+    :class:`Workspace` and are **overwritten by the next call** — callers
+    must copy anything they keep.
     """
 
     program: StencilProgram
@@ -69,6 +146,28 @@ class CompiledPlan:
     _function: Callable[..., Dict[str, np.ndarray]]
     _input_anchors: Dict[str, Box]
     dtype: np.dtype
+    _workspace_cell: List[Optional[Workspace]] = field(
+        default_factory=lambda: [None, None]
+    )
+
+    @property
+    def persistent(self) -> bool:
+        """Whether calls reuse one long-lived workspace."""
+        return self._workspace_cell[0] is not None
+
+    @persistent.setter
+    def persistent(self, value: bool) -> None:
+        self._workspace_cell[0] = Workspace(self.dtype) if value else None
+
+    @property
+    def workspace(self) -> Optional[Workspace]:
+        """The persistent workspace, when :attr:`persistent` is set."""
+        return self._workspace_cell[0]
+
+    @property
+    def last_workspace(self) -> Optional[Workspace]:
+        """The workspace the most recent call used (for its counters)."""
+        return self._workspace_cell[0] or self._workspace_cell[1]
 
     def __call__(
         self, inputs: Mapping[str, ArrayRegion], keep_temporaries: bool = False
@@ -91,32 +190,110 @@ class CompiledPlan:
             box = self.plan.stage_boxes[index]
             if box.is_empty():
                 continue
-            field = field_map[stage.output]
-            if field.is_output or (keep_temporaries and field.is_temporary):
+            produced = field_map[stage.output]
+            if produced.is_output or (keep_temporaries and produced.is_temporary):
                 results[stage.output] = ArrayRegion(raw[stage.output], box)
         return results
 
 
-def _render(expr: Expr, views: Dict[Tuple[str, Offset], str]) -> str:
-    """Render an expression tree to source, mirroring Expr.evaluate."""
+class _SlotAllocator:
+    """Compile-time register allocation for scratch / mask slots."""
+
+    def __init__(self, prefix: str) -> None:
+        self.prefix = prefix
+        self._free: List[int] = []
+        self.high_water = 0
+        self.used: set = set()
+
+    def acquire(self) -> int:
+        if self._free:
+            slot = self._free.pop()
+        else:
+            slot = self.high_water
+            self.high_water += 1
+        self.used.add(slot)
+        return slot
+
+    def release(self, slot: Optional[int]) -> None:
+        if slot is not None:
+            self._free.append(slot)
+
+    def name(self, slot: int) -> str:
+        return f"{self.prefix}{slot}"
+
+
+def _render_statements(
+    expr: Expr,
+    views: Dict[Tuple[str, Offset], str],
+    statements: List[str],
+    floats: _SlotAllocator,
+    masks: _SlotAllocator,
+    dest: Optional[str],
+) -> Tuple[str, Optional[int]]:
+    """Emit three-address statements computing ``expr``.
+
+    Returns ``(value_source, slot)`` where ``value_source`` names the array
+    (or literal) holding the result and ``slot`` is the float scratch slot
+    backing it (None for leaves and for results written into ``dest``).
+    Mirrors ``Expr._eval_into``: same ufuncs, same order, same selection
+    lowering — which is what keeps compiled and interpreted bits equal.
+    """
     if isinstance(expr, Const):
-        return repr(expr.value)
+        return repr(expr.value), None
     if isinstance(expr, Access):
-        return views[(expr.field, expr.offset)]
+        return views[(expr.field, expr.offset)], None
+
+    def destination() -> Tuple[str, Optional[int]]:
+        if dest is not None:
+            return dest, None
+        slot = floats.acquire()
+        return floats.name(slot), slot
+
     if isinstance(expr, Unary):
-        return f"{_UNARY_SOURCE[expr.op]}({_render(expr.operand, views)})"
+        operand, operand_slot = _render_statements(
+            expr.operand, views, statements, floats, masks, None
+        )
+        out_name, out_slot = destination()
+        statements.append(f"{_UNARY_SOURCE[expr.op]}({operand}, out={out_name})")
+        floats.release(operand_slot)
+        return out_name, out_slot
     if isinstance(expr, Binary):
-        return (
-            f"{_BINARY_SOURCE[expr.op]}("
-            f"{_render(expr.left, views)}, {_render(expr.right, views)})"
+        left, left_slot = _render_statements(
+            expr.left, views, statements, floats, masks, None
         )
+        right, right_slot = _render_statements(
+            expr.right, views, statements, floats, masks, None
+        )
+        out_name, out_slot = destination()
+        statements.append(
+            f"{_BINARY_SOURCE[expr.op]}({left}, {right}, out={out_name})"
+        )
+        floats.release(left_slot)
+        floats.release(right_slot)
+        return out_name, out_slot
     if isinstance(expr, Where):
-        cond = _render(expr.condition, views)
-        return (
-            f"np.where(np.asarray({cond}) > 0.0, "
-            f"{_render(expr.if_true, views)}, "
-            f"{_render(expr.if_false, views)})"
+        cond, cond_slot = _render_statements(
+            expr.condition, views, statements, floats, masks, None
         )
+        if_true, true_slot = _render_statements(
+            expr.if_true, views, statements, floats, masks, None
+        )
+        if_false, false_slot = _render_statements(
+            expr.if_false, views, statements, floats, masks, None
+        )
+        mask_slot = masks.acquire()
+        mask_name = masks.name(mask_slot)
+        out_name, out_slot = destination()
+        # np.where has no out=; comparison + two masked copies selects the
+        # identical value per element (see Where._eval_into).
+        statements.append(f"np.greater({cond}, 0.0, out={mask_name})")
+        statements.append(f"np.copyto({out_name}, {if_false})")
+        statements.append(f"np.copyto({out_name}, {if_true}, where={mask_name})")
+        masks.release(mask_slot)
+        floats.release(cond_slot)
+        floats.release(true_slot)
+        floats.release(false_slot)
+        return out_name, out_slot
     raise TypeError(f"cannot compile expression node {type(expr).__name__}")
 
 
@@ -133,20 +310,23 @@ def compile_plan(
     program: StencilProgram,
     plan: HaloPlan,
     dtype: np.dtype = np.float64,
+    reuse_buffers: bool = False,
 ) -> CompiledPlan:
     """Generate and compile straight-line NumPy code for one halo plan.
 
-    Every stage becomes a block of view bindings plus one expression
-    statement; intermediate arrays are plain locals.  The function returns
-    a dict of every produced stage array (the wrapper re-attaches boxes and
-    filters outputs).
+    Every stage becomes a block of view bindings, workspace bindings and
+    three-address ufunc statements with explicit ``out=`` destinations;
+    intermediate arrays are plain locals.  The function returns a dict of
+    every produced stage array (the wrapper re-attaches boxes and filters
+    outputs).  With ``reuse_buffers`` the plan starts with a persistent
+    :class:`Workspace`, making repeat calls allocation-free.
     """
-    for field in program.fields:
-        if not field.name.isidentifier() or field.name.startswith("_") or (
-            field.name in ("np",)
+    for declared in program.fields:
+        if not declared.name.isidentifier() or declared.name.startswith("_") or (
+            declared.name in ("np",)
         ):
             raise ValueError(
-                f"field name {field.name!r} cannot be compiled to an "
+                f"field name {declared.name!r} cannot be compiled to an "
                 "identifier; rename the field"
             )
 
@@ -154,12 +334,12 @@ def compile_plan(
     # regions, produced fields to their stage compute boxes.
     anchors: Dict[str, Box] = {}
     input_anchors: Dict[str, Box] = {}
-    for field in program.input_fields:
-        box = plan.input_boxes.get(field.name)
+    for declared in program.input_fields:
+        box = plan.input_boxes.get(declared.name)
         if box is None or box.is_empty():
             continue
-        anchors[field.name] = box
-        input_anchors[field.name] = box
+        anchors[declared.name] = box
+        input_anchors[declared.name] = box
     for index, stage in enumerate(program.stages):
         box = plan.stage_boxes[index]
         if not box.is_empty():
@@ -168,6 +348,7 @@ def compile_plan(
     lines: List[str] = []
     signature = ", ".join(sorted(input_anchors))
     lines.append(f"def _step({signature}):")
+    lines.append("    _w = _ws()")
     if not any(not b.is_empty() for b in plan.stage_boxes):
         lines.append("    return {}")
     view_counter = 0
@@ -200,24 +381,44 @@ def compile_plan(
                     f"{_slice_source(read_box, anchors[field_name])}"
                 )
         shape = compute.shape
-        lines.append(
-            f"    {stage.output} = _out({_render(stage.expr, views)}, {shape})"
+        floats = _SlotAllocator("_s")
+        masks = _SlotAllocator("_m")
+        statements: List[str] = []
+        value, _ = _render_statements(
+            stage.expr, views, statements, floats, masks, dest=stage.output
         )
+        if value != stage.output:
+            # Leaf root (pure copy stage): materialize into the output.
+            statements.append(f"np.copyto({stage.output}, {value})")
+        lines.append(f"    {stage.output} = _w.out({stage.output!r}, {shape})")
+        for slot in sorted(floats.used):
+            lines.append(f"    _s{slot} = _w.scratch({slot}, {shape})")
+        for slot in sorted(masks.used):
+            lines.append(f"    _m{slot} = _w.mask({slot}, {shape})")
+        for statement in statements:
+            lines.append(f"    {statement}")
         produced.append(stage.output)
     items = ", ".join(f"{name!r}: {name}" for name in produced)
     lines.append(f"    return {{{items}}}")
     source = "\n".join(lines)
 
-    def _out(value, shape):
-        out = np.empty(shape, dtype=dtype)
-        out[...] = value
-        return out
+    workspace_cell: List[Optional[Workspace]] = [
+        Workspace(dtype) if reuse_buffers else None,
+        None,  # last ephemeral workspace, kept so callers can read stats
+    ]
+
+    def _ws() -> Workspace:
+        cached = workspace_cell[0]
+        if cached is not None:
+            return cached
+        workspace_cell[1] = Workspace(dtype)
+        return workspace_cell[1]
 
     namespace = {
         "np": np,
-        "_pos": lambda a: np.maximum(a, 0.0),
-        "_neg_part": lambda a: np.minimum(a, 0.0),
-        "_out": _out,
+        "_pos": lambda a, out: np.maximum(a, 0.0, out=out),
+        "_neg_part": lambda a, out: np.minimum(a, 0.0, out=out),
+        "_ws": _ws,
     }
     exec(compile(source, f"<stencil:{program.name}>", "exec"), namespace)
     return CompiledPlan(
@@ -227,6 +428,7 @@ def compile_plan(
         _function=namespace["_step"],
         _input_anchors=input_anchors,
         dtype=dtype,
+        _workspace_cell=workspace_cell,
     )
 
 
@@ -235,7 +437,8 @@ def compile_program(
     target: Box,
     domain: Box = None,
     dtype: np.dtype = np.float64,
+    reuse_buffers: bool = False,
 ) -> CompiledPlan:
     """Convenience wrapper: derive the halo plan, then compile it."""
     plan = required_regions(program, target, domain=domain)
-    return compile_plan(program, plan, dtype=dtype)
+    return compile_plan(program, plan, dtype=dtype, reuse_buffers=reuse_buffers)

@@ -20,7 +20,7 @@ Gflop/s (Table 4) instead of hard-coding them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Mapping, Set, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple, Union
 
 import numpy as np
 
@@ -28,6 +28,7 @@ Offset = Tuple[int, int, int]
 
 __all__ = [
     "Offset",
+    "EvalArena",
     "Expr",
     "Const",
     "Access",
@@ -42,6 +43,81 @@ __all__ = [
     "neg",
     "sqrt",
 ]
+
+
+class EvalArena:
+    """Recycled scratch buffers for ``out=``-aware expression evaluation.
+
+    Naive :meth:`Expr.evaluate` lets every ufunc allocate its result, so a
+    deep tree costs one fresh array per operator node, every stage, every
+    time step.  An arena instead hands each operator a reshaped view of a
+    pooled flat buffer; the buffer goes back on the free list as soon as
+    the parent has consumed it.  A steady-state evaluator therefore holds
+    only ``depth``-many scratch buffers, and — when the arena is kept
+    alive across calls — performs **zero** allocations after warm-up.
+
+    Buffers are pooled by capacity (tree nodes in one stage share a shape,
+    but stages differ slightly), floats and boolean selection masks
+    separately.  ``allocations`` / ``reuses`` count pool misses and hits.
+    """
+
+    __slots__ = ("dtype", "_free", "_free_mask", "_bases", "allocations", "reuses")
+
+    def __init__(self, dtype: "np.dtype" = np.float64) -> None:
+        self.dtype = np.dtype(dtype)
+        self._free: List[np.ndarray] = []  # flat, ascending by size
+        self._free_mask: List[np.ndarray] = []
+        self._bases: Dict[int, np.ndarray] = {}  # id(view) -> flat base
+        self.allocations = 0
+        self.reuses = 0
+
+    # ------------------------------------------------------------------
+    def _acquire_from(
+        self, pool: List[np.ndarray], shape: Tuple[int, ...], dtype: "np.dtype"
+    ) -> np.ndarray:
+        need = 1
+        for extent in shape:
+            need *= extent
+        for slot, base in enumerate(pool):
+            if base.size >= need:
+                del pool[slot]
+                self.reuses += 1
+                break
+        else:
+            base = np.empty(need, dtype=dtype)
+            self.allocations += 1
+        view = base[:need].reshape(shape)
+        self._bases[id(view)] = base
+        return view
+
+    def acquire(self, shape: Tuple[int, ...]) -> np.ndarray:
+        """A scratch array of the given shape (contents undefined)."""
+        return self._acquire_from(self._free, shape, self.dtype)
+
+    def acquire_mask(self, shape: Tuple[int, ...]) -> np.ndarray:
+        """A boolean scratch array (for :class:`Where` selections)."""
+        return self._acquire_from(self._free_mask, shape, np.dtype(bool))
+
+    def release(self, value: object) -> None:
+        """Return a previously acquired array to the pool.
+
+        Anything not handed out by this arena — field views, Python
+        scalars, caller-owned ``out`` arrays — is silently ignored, which
+        lets evaluators release every operand unconditionally.
+        """
+        base = self._bases.pop(id(value), None)
+        if base is None:
+            return
+        pool = self._free_mask if base.dtype == np.bool_ else self._free
+        position = 0
+        while position < len(pool) and pool[position].size < base.size:
+            position += 1
+        pool.insert(position, base)
+
+    @property
+    def outstanding(self) -> int:
+        """Number of acquired-but-unreleased buffers (0 between stages)."""
+        return len(self._bases)
 
 
 class Expr:
@@ -83,11 +159,52 @@ class Expr:
     # ------------------------------------------------------------------
     # Interpretations
     # ------------------------------------------------------------------
-    def evaluate(self, resolve: Callable[[str, Offset], np.ndarray]) -> np.ndarray:
+    def evaluate(
+        self,
+        resolve: Callable[[str, Offset], np.ndarray],
+        out: Optional[np.ndarray] = None,
+        scratch: Optional[EvalArena] = None,
+    ) -> np.ndarray:
         """Evaluate over array views.
 
         ``resolve(field, offset)`` must return the NumPy view of ``field``
         shifted by ``offset``, already restricted to the output region.
+
+        Without ``out`` this is the naive evaluator: every operator node
+        lets NumPy allocate its result.  With ``out`` the result is
+        written into the given array and every intermediate ufunc receives
+        an ``out=`` scratch buffer recycled from ``scratch`` (an
+        :class:`EvalArena`; a throwaway arena is created when omitted).
+        Both paths call the identical ufuncs on the identical operands, so
+        the results are bit-identical; only the allocation behaviour
+        differs.
+        """
+        if out is None:
+            return self._evaluate(resolve)
+        arena = scratch if scratch is not None else EvalArena(out.dtype)
+        result = self._eval_into(resolve, arena, out)
+        if result is not out:
+            # Root was a leaf (Access / Const): materialize into out.
+            out[...] = result
+            arena.release(result)
+        return out
+
+    def _evaluate(self, resolve: Callable[[str, Offset], np.ndarray]) -> np.ndarray:
+        """Naive evaluation: NumPy allocates every intermediate."""
+        raise NotImplementedError
+
+    def _eval_into(
+        self,
+        resolve: Callable[[str, Offset], np.ndarray],
+        arena: EvalArena,
+        out: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Arena evaluation.
+
+        Operator nodes compute into ``out`` when given one (the root call)
+        or into a buffer acquired from ``arena`` otherwise, and release
+        their operands' scratch back to the arena.  Leaves ignore ``out``
+        and return the raw view / scalar.
         """
         raise NotImplementedError
 
@@ -155,7 +272,15 @@ class Const(Expr):
 
     value: float
 
-    def evaluate(self, resolve: Callable[[str, Offset], np.ndarray]) -> np.ndarray:
+    def _evaluate(self, resolve: Callable[[str, Offset], np.ndarray]) -> np.ndarray:
+        return self.value  # type: ignore[return-value]  # broadcast by NumPy
+
+    def _eval_into(
+        self,
+        resolve: Callable[[str, Offset], np.ndarray],
+        arena: EvalArena,
+        out: Optional[np.ndarray],
+    ) -> np.ndarray:
         return self.value  # type: ignore[return-value]  # broadcast by NumPy
 
     def _collect_footprint(self, acc: Dict[str, Set[Offset]]) -> None:
@@ -179,7 +304,15 @@ class Access(Expr):
         if len(self.offset) != 3:
             raise ValueError(f"offset must be 3D, got {self.offset!r}")
 
-    def evaluate(self, resolve: Callable[[str, Offset], np.ndarray]) -> np.ndarray:
+    def _evaluate(self, resolve: Callable[[str, Offset], np.ndarray]) -> np.ndarray:
+        return resolve(self.field, self.offset)
+
+    def _eval_into(
+        self,
+        resolve: Callable[[str, Offset], np.ndarray],
+        arena: EvalArena,
+        out: Optional[np.ndarray],
+    ) -> np.ndarray:
         return resolve(self.field, self.offset)
 
     def _collect_footprint(self, acc: Dict[str, Set[Offset]]) -> None:
@@ -208,6 +341,16 @@ _UNARY_EVAL: Mapping[str, Callable[[np.ndarray], np.ndarray]] = {
     "neg_part": lambda a: np.minimum(a, 0.0),
 }
 
+#: ``out=``-aware spellings of the same table — identical ufuncs, so the
+#: arena evaluator is bit-identical to the naive one.
+_UNARY_OUT: Mapping[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "neg": lambda a, out: np.negative(a, out=out),
+    "abs": lambda a, out: np.abs(a, out=out),
+    "sqrt": lambda a, out: np.sqrt(a, out=out),
+    "pos": lambda a, out: np.maximum(a, 0.0, out=out),
+    "neg_part": lambda a, out: np.minimum(a, 0.0, out=out),
+}
+
 #: Ops counted by hardware FLOP counters (arithmetic vector instructions).
 _ARITHMETIC_OPS = frozenset({"add", "sub", "mul", "div", "neg", "sqrt"})
 
@@ -223,8 +366,21 @@ class Unary(Expr):
         if self.op not in _UNARY_EVAL:
             raise ValueError(f"unknown unary op {self.op!r}")
 
-    def evaluate(self, resolve: Callable[[str, Offset], np.ndarray]) -> np.ndarray:
-        return _UNARY_EVAL[self.op](self.operand.evaluate(resolve))
+    def _evaluate(self, resolve: Callable[[str, Offset], np.ndarray]) -> np.ndarray:
+        return _UNARY_EVAL[self.op](self.operand._evaluate(resolve))
+
+    def _eval_into(
+        self,
+        resolve: Callable[[str, Offset], np.ndarray],
+        arena: EvalArena,
+        out: Optional[np.ndarray],
+    ) -> np.ndarray:
+        operand = self.operand._eval_into(resolve, arena, None)
+        if out is None:
+            out = arena.acquire(np.shape(operand))
+        _UNARY_OUT[self.op](operand, out)
+        arena.release(operand)
+        return out
 
     def _collect_footprint(self, acc: Dict[str, Set[Offset]]) -> None:
         self.operand._collect_footprint(acc)
@@ -259,10 +415,25 @@ class Binary(Expr):
         if self.op not in _BINARY_EVAL:
             raise ValueError(f"unknown binary op {self.op!r}")
 
-    def evaluate(self, resolve: Callable[[str, Offset], np.ndarray]) -> np.ndarray:
+    def _evaluate(self, resolve: Callable[[str, Offset], np.ndarray]) -> np.ndarray:
         return _BINARY_EVAL[self.op](
-            self.left.evaluate(resolve), self.right.evaluate(resolve)
+            self.left._evaluate(resolve), self.right._evaluate(resolve)
         )
+
+    def _eval_into(
+        self,
+        resolve: Callable[[str, Offset], np.ndarray],
+        arena: EvalArena,
+        out: Optional[np.ndarray],
+    ) -> np.ndarray:
+        left = self.left._eval_into(resolve, arena, None)
+        right = self.right._eval_into(resolve, arena, None)
+        if out is None:
+            out = arena.acquire(np.shape(left) or np.shape(right))
+        _BINARY_EVAL[self.op](left, right, out=out)
+        arena.release(left)
+        arena.release(right)
+        return out
 
     def _collect_footprint(self, acc: Dict[str, Set[Offset]]) -> None:
         self.left._collect_footprint(acc)
@@ -288,13 +459,39 @@ class Where(Expr):
     if_true: Expr
     if_false: Expr
 
-    def evaluate(self, resolve: Callable[[str, Offset], np.ndarray]) -> np.ndarray:
-        cond = self.condition.evaluate(resolve)
+    def _evaluate(self, resolve: Callable[[str, Offset], np.ndarray]) -> np.ndarray:
+        cond = self.condition._evaluate(resolve)
         return np.where(
             np.asarray(cond) > 0.0,
-            self.if_true.evaluate(resolve),
-            self.if_false.evaluate(resolve),
+            self.if_true._evaluate(resolve),
+            self.if_false._evaluate(resolve),
         )
+
+    def _eval_into(
+        self,
+        resolve: Callable[[str, Offset], np.ndarray],
+        arena: EvalArena,
+        out: Optional[np.ndarray],
+    ) -> np.ndarray:
+        # np.where has no out=; an equivalent zero-allocation selection is
+        # a comparison into a pooled mask plus two masked copies.  Every
+        # element receives exactly the value np.where would pick, so this
+        # stays bit-identical to the naive evaluator.
+        cond = self.condition._eval_into(resolve, arena, None)
+        if_true = self.if_true._eval_into(resolve, arena, None)
+        if_false = self.if_false._eval_into(resolve, arena, None)
+        shape = np.shape(cond) or np.shape(if_true) or np.shape(if_false)
+        if out is None:
+            out = arena.acquire(shape)
+        mask = arena.acquire_mask(shape)
+        np.greater(cond, 0.0, out=mask)
+        np.copyto(out, if_false)
+        np.copyto(out, if_true, where=mask)
+        arena.release(mask)
+        arena.release(cond)
+        arena.release(if_true)
+        arena.release(if_false)
+        return out
 
     def _collect_footprint(self, acc: Dict[str, Set[Offset]]) -> None:
         self.condition._collect_footprint(acc)

@@ -17,16 +17,22 @@ possible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from .expr import Offset
+from .expr import EvalArena, Offset
 from .halo import HaloPlan, required_regions
 from .program import StencilProgram
 from .region import Box
 
-__all__ = ["ArrayRegion", "ExecutionStats", "execute", "execute_plan"]
+__all__ = [
+    "ArrayRegion",
+    "ExecutionStats",
+    "StageArena",
+    "execute",
+    "execute_plan",
+]
 
 
 @dataclass(frozen=True)
@@ -60,16 +66,97 @@ class ArrayRegion:
 
 @dataclass
 class ExecutionStats:
-    """Work actually performed by one interpreter run."""
+    """Work actually performed by one interpreter run.
+
+    ``allocations`` / ``reused_buffers`` count stage-output storage
+    (pool misses / hits); ``scratch_allocations`` / ``scratch_reused``
+    count the expression evaluator's ufunc scratch buffers.  A
+    steady-state run over persistent arenas reports zero for both
+    allocation counters after warm-up.
+    """
 
     points_by_stage: Dict[str, int]
     flops: int
     allocations: int = 0
     reused_buffers: int = 0
+    scratch_allocations: int = 0
+    scratch_reused: int = 0
 
     @property
     def points(self) -> int:
         return sum(self.points_by_stage.values())
+
+    @property
+    def total_allocations(self) -> int:
+        """Every fresh NumPy array this run created."""
+        return self.allocations + self.scratch_allocations
+
+
+class StageArena:
+    """Capacity-pooled storage for stage outputs, reusable across runs.
+
+    The liveness analysis in :func:`execute_plan` retires a temporary's
+    buffer as soon as its last reader has run; this arena is where retired
+    buffers wait, sorted ascending by capacity so a request takes the
+    smallest adequate one.  Handing the *same* arena to ``execute_plan``
+    on every time step makes the interpreter allocation-free in steady
+    state: each call starts by recycling everything the previous call
+    produced (:meth:`reset`), so after warm-up every stage output is a
+    reshaped view of a pooled flat buffer.
+
+    The arena is single-threaded by design — give each island its own.
+    """
+
+    __slots__ = ("dtype", "_pool", "_outstanding", "allocations", "reuses")
+
+    def __init__(self, dtype: "np.dtype" = np.float64) -> None:
+        self.dtype = np.dtype(dtype)
+        self._pool: List[np.ndarray] = []  # flat buffers, ascending by size
+        self._outstanding: List[np.ndarray] = []
+        self.allocations = 0
+        self.reuses = 0
+
+    def reset(self) -> None:
+        """Recycle every buffer handed out since the previous reset.
+
+        Callers must be done reading the previous call's results (the
+        runners copy outputs into caller-visible arrays immediately).
+        """
+        for base in self._outstanding:
+            self._insert(base)
+        self._outstanding.clear()
+
+    def acquire(self, need: int) -> np.ndarray:
+        """A flat buffer of at least ``need`` elements."""
+        for slot, base in enumerate(self._pool):
+            if base.size >= need:
+                del self._pool[slot]
+                self.reuses += 1
+                self._outstanding.append(base)
+                return base
+        base = np.empty(need, dtype=self.dtype)
+        self.allocations += 1
+        self._outstanding.append(base)
+        return base
+
+    def retire(self, base: np.ndarray) -> None:
+        """Return a buffer to the pool before the run ends (dead temporary)."""
+        for slot, candidate in enumerate(self._outstanding):
+            if candidate is base:  # identity, not ndarray ==
+                del self._outstanding[slot]
+                break
+        self._insert(base)
+
+    def _insert(self, base: np.ndarray) -> None:
+        position = 0
+        while position < len(self._pool) and self._pool[position].size < base.size:
+            position += 1
+        self._pool.insert(position, base)
+
+    @property
+    def pooled(self) -> int:
+        """Number of buffers currently waiting in the pool."""
+        return len(self._pool)
 
 
 def execute(
@@ -120,6 +207,8 @@ def execute_plan(
     keep_temporaries: bool = False,
     dtype: np.dtype = np.float64,
     reuse_buffers: bool = False,
+    arena: Optional[StageArena] = None,
+    scratch: Optional[EvalArena] = None,
 ) -> Tuple[Dict[str, ArrayRegion], ExecutionStats]:
     """Run a program following a precomputed :class:`HaloPlan`.
 
@@ -133,9 +222,34 @@ def execute_plan(
     ``keep_temporaries`` (recycled arrays would alias) and refused then.
     Results are bit-identical either way: every output element is fully
     overwritten before any read.
+
+    ``arena`` (a :class:`StageArena`) makes the recycling *persistent*:
+    the same arena passed on every time step supplies all stage storage
+    from its pool, so steady-state calls allocate nothing.  It implies
+    ``reuse_buffers`` and hands back the previous call's buffers on entry
+    — callers must have copied any results they still need.  ``scratch``
+    (an :class:`~repro.stencil.expr.EvalArena`) plays the same role for
+    the expression evaluator's ufunc scratch; a throwaway one is used
+    when omitted.  Either way every ufunc now receives an ``out=``
+    buffer, which is bit-identical to letting NumPy allocate.
     """
-    if reuse_buffers and keep_temporaries:
+    reuse = reuse_buffers or arena is not None
+    if reuse and keep_temporaries:
         raise ValueError("reuse_buffers and keep_temporaries are exclusive")
+    stage_arena: Optional[StageArena] = None
+    if reuse:
+        stage_arena = arena if arena is not None else StageArena(dtype)
+        if stage_arena.dtype != np.dtype(dtype):
+            raise ValueError(
+                f"arena dtype {stage_arena.dtype} does not match run dtype "
+                f"{np.dtype(dtype)}"
+            )
+        stage_arena.reset()
+    eval_arena = scratch if scratch is not None else EvalArena(dtype)
+    stage_alloc0, stage_reuse0 = (
+        (stage_arena.allocations, stage_arena.reuses) if stage_arena else (0, 0)
+    )
+    scratch_alloc0, scratch_reuse0 = eval_arena.allocations, eval_arena.reuses
     storage: Dict[str, ArrayRegion] = {}
     for field in program.input_fields:
         required = plan.input_boxes[field.name]
@@ -153,23 +267,20 @@ def execute_plan(
 
     # Liveness: the last stage index that reads each produced field.
     last_use: Dict[str, int] = {}
-    if reuse_buffers:
+    if reuse:
         produced = {stage.output for stage in program.stages}
         for index, stage in enumerate(program.stages):
             for read in stage.reads:
                 if read in produced:
                     last_use[read] = index
 
-    # Capacity-based arena: retired flat buffers, ascending by size.  A
-    # stage's output becomes a reshaped view of the smallest adequate one
-    # (stage boxes differ slightly in shape, so pooling by capacity rather
-    # than exact shape is what makes reuse actually fire).
-    pool: list = []
+    # Stage storage comes from the arena (pooled by capacity, since stage
+    # boxes differ slightly in shape) or, without reuse, from fresh
+    # allocations counted in the stats.
     bases: Dict[str, np.ndarray] = {}
     points_by_stage: Dict[str, int] = {}
     flops = 0
-    allocations = 0
-    reused = 0
+    fresh_allocations = 0
     for index, stage in enumerate(program.stages):
         compute = plan.stage_boxes[index]
         points_by_stage[stage.name] = compute.size
@@ -180,26 +291,18 @@ def execute_plan(
         def resolve(field_name: str, offset: Offset) -> np.ndarray:
             return storage[field_name].view(compute.shift(offset))
 
-        value = stage.expr.evaluate(resolve)
         need = compute.size
-        out = None
-        if reuse_buffers:
-            for slot, base in enumerate(pool):
-                if base.size >= need:
-                    out = base[:need].reshape(compute.shape)
-                    bases[stage.output] = base
-                    del pool[slot]
-                    reused += 1
-                    break
-        if out is None:
-            base = np.empty(need, dtype=dtype)
-            out = base.reshape(compute.shape)
+        if stage_arena is not None:
+            base = stage_arena.acquire(need)
             bases[stage.output] = base
-            allocations += 1
-        out[...] = value
+        else:
+            base = np.empty(need, dtype=dtype)
+            fresh_allocations += 1
+        out = base[:need].reshape(compute.shape)
+        stage.expr.evaluate(resolve, out=out, scratch=eval_arena)
         storage[stage.output] = ArrayRegion(out, compute)
 
-        if reuse_buffers:
+        if stage_arena is not None:
             # Retire temporaries whose last reader has now run; outputs
             # must survive, inputs are caller-owned.
             field_map_local = program.field_map
@@ -209,11 +312,7 @@ def execute_plan(
                 if not field_map_local[name].is_temporary:
                     continue
                 if storage.pop(name, None) is not None:
-                    base = bases.pop(name)
-                    position = 0
-                    while position < len(pool) and pool[position].size < base.size:
-                        position += 1
-                    pool.insert(position, base)
+                    stage_arena.retire(bases.pop(name))
 
     field_map = program.field_map
     results: Dict[str, ArrayRegion] = {}
@@ -221,6 +320,17 @@ def execute_plan(
         field = field_map[name]
         if field.is_output or (keep_temporaries and field.is_temporary):
             results[name] = region
+    if stage_arena is not None:
+        allocations = stage_arena.allocations - stage_alloc0
+        reused = stage_arena.reuses - stage_reuse0
+    else:
+        allocations = fresh_allocations
+        reused = 0
     return results, ExecutionStats(
-        points_by_stage, flops, allocations=allocations, reused_buffers=reused
+        points_by_stage,
+        flops,
+        allocations=allocations,
+        reused_buffers=reused,
+        scratch_allocations=eval_arena.allocations - scratch_alloc0,
+        scratch_reused=eval_arena.reuses - scratch_reuse0,
     )
