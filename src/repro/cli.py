@@ -12,6 +12,8 @@ strategy for a workload:
     python -m repro calibrate           # re-fit and print the cost model
     python -m repro recommend -P 14     # rank strategies for a config
     python -m repro engine              # steady-state engine counters
+    python -m repro engine --faults crash@island=1,step=3 \\
+        --checkpoint-every 5            # fault-tolerant run + recovery report
 """
 
 from __future__ import annotations
@@ -91,7 +93,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     engine = sub.add_parser(
         "engine",
-        help="steady-state engine: allocation / reuse counters, naive vs engine",
+        help="steady-state engine: allocation / reuse counters, naive vs "
+        "engine; with --faults / --checkpoint-every, a fault-tolerant run",
     )
     engine.add_argument(
         "--shape", type=int, nargs=3, default=(128, 64, 16), metavar="N"
@@ -103,6 +106,42 @@ def build_parser() -> argparse.ArgumentParser:
     engine.add_argument(
         "--json", metavar="PATH", default=None,
         help="also write the report as JSON (e.g. BENCH_steady_state.json)",
+    )
+    faults = engine.add_argument_group(
+        "fault tolerance",
+        "inject deterministic faults and run with retry, numerical guards "
+        "and checkpointed rollback; the run is compared bit-for-bit "
+        "against a fault-free reference",
+    )
+    faults.add_argument(
+        "--faults", nargs="+", default=None, metavar="SPEC",
+        help="fault specs, e.g. crash@island=1,step=3 "
+        "slow@island=0,delay=0.05 corrupt@island=2,step=7 "
+        "(fields: island, step, attempts, delay, value)",
+    )
+    faults.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="checkpoint interval in steps (enables the fault-tolerant run)",
+    )
+    faults.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="also write checkpoints to disk (atomic .npz files)",
+    )
+    faults.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="per-island retry budget within a step (default 2)",
+    )
+    faults.add_argument(
+        "--rollbacks", type=int, default=3, metavar="N",
+        help="rollback-and-replay budget for the run (default 3)",
+    )
+    faults.add_argument(
+        "--mass-drift-limit", type=float, default=None, metavar="X",
+        help="guard per-step |mass - initial mass| against this limit",
+    )
+    faults.add_argument(
+        "--no-guards", action="store_true",
+        help="disable the per-step NaN/Inf health check",
     )
     return parser
 
@@ -258,6 +297,56 @@ def _run_engine(shape, steps, islands, threads, compiled, json_path) -> int:
     return 0 if report.bit_identical else 1
 
 
+def _run_engine_faults(args) -> int:
+    """Fault-tolerant run vs fault-free reference, bit-compared."""
+    import numpy as np
+
+    from .mpdata import random_state
+    from .runtime import (
+        FaultInjector,
+        MpdataIslandSolver,
+        RecoveryPolicy,
+        UnrecoverableRunError,
+    )
+
+    shape = tuple(args.shape)
+    state = random_state(shape, seed=2017)
+    common = dict(
+        islands=args.islands,
+        threads=args.threads,
+        compiled=args.compiled,
+        reuse_buffers=True,
+        reuse_output=True,
+    )
+    with MpdataIslandSolver(shape, **common) as reference:
+        expected = np.array(reference.run(state, args.steps), copy=True)
+
+    injector = FaultInjector.from_strings(args.faults or [])
+    policy = RecoveryPolicy(
+        checkpoint_every=args.checkpoint_every or 10,
+        checkpoint_dir=args.checkpoint_dir,
+        check_finite=not args.no_guards,
+        mass_drift_limit=args.mass_drift_limit,
+        max_rollbacks=args.rollbacks,
+    )
+    with MpdataIslandSolver(
+        shape, max_retries=args.retries, fault_injector=injector, **common
+    ) as solver:
+        try:
+            final = solver.run(state, args.steps, recovery=policy)
+        except UnrecoverableRunError as error:
+            if solver.last_recovery_report is not None:
+                print(solver.last_recovery_report.render())
+            print(f"\nUNRECOVERABLE: {error}")
+            return 1
+        report = solver.last_recovery_report
+
+    print(report.render())
+    identical = bool(np.array_equal(final, expected))
+    print(f"bit-identical to fault-free run: {identical}")
+    return 0 if identical else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "show":
@@ -277,6 +366,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         _run_recommend(args.processors, args.shape, args.steps)
         return 0
     if args.command == "engine":
+        if (
+            args.faults is not None
+            or args.checkpoint_every is not None
+            or args.checkpoint_dir is not None
+        ):
+            return _run_engine_faults(args)
         return _run_engine(
             args.shape, args.steps, args.islands, args.threads,
             args.compiled, args.json,

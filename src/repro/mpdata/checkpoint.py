@@ -11,6 +11,8 @@ trip unchanged, so a run split across checkpoints equals the unbroken run.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -48,6 +50,12 @@ def save_checkpoint(
 
     The ``.npz`` suffix is appended if missing (NumPy does the same, so
     being explicit keeps the returned path truthful).
+
+    The write is **atomic**: the archive goes to a temporary file in the
+    same directory and is :func:`os.replace`-d into place, so a crash
+    mid-write (the exact failure checkpoints exist to survive) can never
+    leave a truncated ``.npz`` at the target path — readers observe
+    either the previous complete checkpoint or the new one.
     """
     checkpoint = Checkpoint(state, step, dict(metadata or {}))
     path = Path(path)
@@ -60,15 +68,29 @@ def save_checkpoint(
             "metadata": checkpoint.metadata,
         }
     )
-    np.savez(
-        path,
-        header=np.frombuffer(header.encode("utf-8"), dtype=np.uint8),
-        x=checkpoint.state.x,
-        u1=checkpoint.state.u1,
-        u2=checkpoint.state.u2,
-        u3=checkpoint.state.u3,
-        h=checkpoint.state.h,
+    handle, temp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
     )
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            np.savez(
+                stream,
+                header=np.frombuffer(header.encode("utf-8"), dtype=np.uint8),
+                x=checkpoint.state.x,
+                u1=checkpoint.state.u1,
+                u2=checkpoint.state.u2,
+                u3=checkpoint.state.u3,
+                h=checkpoint.state.h,
+            )
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
     return path
 
 

@@ -3,23 +3,65 @@
 The machine simulator (:mod:`repro.machine`) answers *how long* a strategy
 takes; this package answers *what it computes* — and proves partitioned
 strategies compute exactly the same thing as the whole-domain reference.
+It also answers *what happens when a step fails*: deterministic fault
+injection (:mod:`repro.runtime.faults`), per-island retry inside the
+runner, and checkpointed rollback-and-replay
+(:mod:`repro.runtime.recovery`).
 """
 
-from .diagnostics import RunHistory, RunRecorder, StepDiagnostics
-from .island_exec import MpdataIslandSolver, PartitionedRunner, StepStats
+from .diagnostics import (
+    RunHistory,
+    RunRecorder,
+    StepDiagnostics,
+    check_step_health,
+)
+from .faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultSpec,
+    FaultStats,
+    InjectedFault,
+    parse_fault_spec,
+)
+from .island_exec import (
+    IslandFailure,
+    MpdataIslandSolver,
+    PartitionedRunner,
+    StepStats,
+)
+from .recovery import (
+    NumericalHealthError,
+    RecoveryPolicy,
+    RecoveryReport,
+    UnrecoverableRunError,
+    run_with_recovery,
+)
 from .steady import SteadyStateReport, measure_steady_state
 from .verify import VerificationResult, verify_islands, verify_variants
 
 __all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultStats",
+    "InjectedFault",
+    "IslandFailure",
     "MpdataIslandSolver",
+    "NumericalHealthError",
+    "PartitionedRunner",
+    "RecoveryPolicy",
+    "RecoveryReport",
     "RunHistory",
     "RunRecorder",
     "StepDiagnostics",
-    "PartitionedRunner",
     "StepStats",
     "SteadyStateReport",
+    "UnrecoverableRunError",
     "VerificationResult",
+    "check_step_health",
     "measure_steady_state",
+    "parse_fault_spec",
+    "run_with_recovery",
     "verify_islands",
     "verify_variants",
 ]

@@ -17,7 +17,12 @@ import numpy as np
 
 from ..mpdata.reference import MpdataState
 
-__all__ = ["StepDiagnostics", "RunHistory", "RunRecorder"]
+__all__ = [
+    "StepDiagnostics",
+    "RunHistory",
+    "RunRecorder",
+    "check_step_health",
+]
 
 
 class _Stepper(Protocol):
@@ -64,6 +69,35 @@ class RunHistory:
         of a diffusive (upwind/limited) scheme on a closed domain."""
         variances = [d.variance for d in self.steps]
         return all(b <= a * (1 + 1e-12) for a, b in zip(variances, variances[1:]))
+
+
+def check_step_health(
+    x: np.ndarray,
+    h: "np.ndarray | None" = None,
+    initial_mass: "float | None" = None,
+    check_finite: bool = True,
+    mass_drift_limit: "float | None" = None,
+) -> "str | None":
+    """Per-step numerical guard; returns a failure reason or ``None``.
+
+    The same invariants :class:`RunHistory` records after the fact,
+    checked *during* the run so a sick step can be rolled back instead of
+    poisoning everything after it: every value finite, and — when
+    ``mass_drift_limit`` is given — the instantaneous
+    ``|mass - initial_mass|`` (the per-step term of
+    :attr:`RunHistory.mass_drift`) within the limit.
+    """
+    if check_finite and not bool(np.isfinite(x).all()):
+        return "non-finite value in field"
+    if mass_drift_limit is not None:
+        if h is None or initial_mass is None:
+            raise ValueError(
+                "mass_drift_limit requires both h and initial_mass"
+            )
+        drift = abs(float((h * x).sum()) - initial_mass)
+        if drift > mass_drift_limit:
+            return f"mass drift {drift:.6e} exceeds limit {mass_drift_limit:.6e}"
+    return None
 
 
 class RunRecorder:

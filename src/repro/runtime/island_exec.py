@@ -22,6 +22,7 @@ naive behaviour (fresh everything per step) remains available with
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Set, Tuple
@@ -36,8 +37,38 @@ from ..mpdata.stages import FIELD_DENSITY, FIELD_X, mpdata_program
 from ..stencil import ArrayRegion, Box, StencilProgram, execute_plan, full_box
 from ..stencil.expr import EvalArena
 from ..stencil.interpreter import StageArena
+from .faults import (
+    FaultInjector,
+    FaultStats,
+    apply_post_faults,
+    apply_pre_faults,
+)
 
-__all__ = ["PartitionedRunner", "MpdataIslandSolver", "StepStats"]
+__all__ = [
+    "IslandFailure",
+    "PartitionedRunner",
+    "MpdataIslandSolver",
+    "StepStats",
+]
+
+
+class IslandFailure(RuntimeError):
+    """An island task failed after exhausting its retry budget.
+
+    The step it belonged to did **not** complete: the runner's persistent
+    output buffer has been invalidated (filled with NaN and dropped from
+    reuse) and ``last_step_stats`` reset to ``None``, so no caller can
+    mistake the partial step for a successful one.
+    """
+
+    def __init__(self, island: int, step: int, attempts: int, cause: BaseException) -> None:
+        super().__init__(
+            f"island {island} failed at step {step} after {attempts} "
+            f"attempt(s): {cause!r}"
+        )
+        self.island = island
+        self.step = step
+        self.attempts = attempts
 
 
 @dataclass(frozen=True)
@@ -89,6 +120,24 @@ class PartitionedRunner:
         callers holding results from two different steps would see the
         second overwrite the first; the MPDATA drivers and benchmarks
         enable it for allocation-free stepping.
+    max_retries:
+        Per-island retry budget within one step.  Islands recompute
+        their transitive halo instead of communicating, so a failed
+        island task is simply re-executed in place — on a fresh arena,
+        because a mid-flight exception leaves the old arena's liveness
+        bookkeeping indeterminate — without touching its neighbours.
+        A step raises :class:`IslandFailure` only once an island has
+        failed ``1 + max_retries`` times.  ``0`` disables retry.
+    retry_backoff:
+        Base sleep (seconds) before retry attempt N, growing as
+        ``retry_backoff * 2**(N-1)``.  Zero (default) retries
+        immediately — the in-process failure modes retry targets are
+        transient task faults, not contended external resources.
+    fault_injector:
+        Optional :class:`~repro.runtime.faults.FaultInjector` whose
+        crash / slow / corrupt faults are applied inside island tasks,
+        keyed by (step, island).  Testing hook; ``None`` in production.
+        Fault-tolerance activity is counted in :attr:`fault_stats`.
     """
 
     def __init__(
@@ -104,10 +153,17 @@ class PartitionedRunner:
         compiled: bool = False,
         reuse_buffers: bool = True,
         reuse_output: bool = False,
+        max_retries: int = 0,
+        retry_backoff: float = 0.0,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         outputs = program.output_fields
         if len(outputs) != 1:
             raise ValueError("PartitionedRunner requires a single-output program")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
         self.program = program
         self.shape = tuple(shape)
         self.boundary = boundary
@@ -116,6 +172,12 @@ class PartitionedRunner:
         self.output_field = outputs[0].name
         self.reuse_buffers = reuse_buffers
         self.reuse_output = reuse_output
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.fault_injector = fault_injector
+        self.fault_stats = FaultStats()
+        self._degraded = False  # threaded pool broke; running serial
+        self._step_index = 0  # logical step counter for fault keying
 
         self.domain: Box = full_box(self.shape)
         self.ghosts = GhostSpec.for_program(program, self.shape)
@@ -245,10 +307,48 @@ class PartitionedRunner:
             return self._out, 1
         return self._out, 0
 
+    @property
+    def degraded(self) -> bool:
+        """True once the broken thread pool forced serial execution."""
+        return self._degraded
+
+    def _fresh_island_resources(self, island_index: int) -> None:
+        """Replace one island's persistent compute state before a retry.
+
+        A task that died mid-execution leaves its arena's liveness
+        bookkeeping (interpreted) or workspace bindings (compiled) in an
+        indeterminate state; a retry therefore starts from fresh storage.
+        Only the failed island pays — its neighbours keep their warm
+        buffers, which is exactly the isolation the islands approach buys.
+        """
+        if self._compiled is not None:
+            compiled = self._compiled[island_index]
+            if compiled.persistent:
+                compiled.persistent = True  # installs a fresh Workspace
+        elif self.reuse_buffers:
+            self._arenas[island_index] = StageArena(self.dtype)
+            self._scratch[island_index] = EvalArena(self.dtype)
+
+    def _invalidate_after_failure(self, out: np.ndarray) -> None:
+        """Make a half-written step unobservable as a success.
+
+        Some islands may already have published their parts into ``out``
+        when another island failed, so the buffer holds a mix of new and
+        stale values.  It is poisoned with NaN — a caller still holding
+        the persistent buffer sees unambiguous garbage, never a plausible
+        field — and dropped from reuse so the next step starts clean.
+        ``last_step_stats`` is reset for the same reason.
+        """
+        self.last_step_stats = None
+        if self.reuse_output and self._out is not None:
+            self._out = None
+            out.fill(np.nan)
+
     def step(
         self,
         arrays: Mapping[str, np.ndarray],
         changed: Optional[Set[str]] = None,
+        step_index: Optional[int] = None,
     ) -> np.ndarray:
         """One partitioned time step; returns the assembled output array.
 
@@ -257,19 +357,49 @@ class PartitionedRunner:
         refilling static fields (ignored in non-reuse mode, where every
         step re-extends everything).  With ``reuse_output`` the returned
         array is the runner's persistent buffer, overwritten next step.
+
+        ``step_index`` is the logical time-step number used to key
+        injected faults; drivers that replay steps after a rollback pass
+        it explicitly so a replayed step keeps its original identity.
+        By default an internal counter is used, advancing only on
+        success — a caller-level re-execution of a failed step reuses
+        the same index.
+
+        On an island failure that survives the retry budget the step
+        raises :class:`IslandFailure` with the output buffer invalidated
+        and ``last_step_stats`` reset — a failed step is never
+        observable as a successful one.
         """
+        if step_index is None:
+            step_index = self._step_index
         self._last_ghost_counts = (0, 0)
         inputs = self.extend_inputs(arrays, changed=changed)
         ghost_allocations, ghost_reused = self._last_ghost_counts
         out, output_allocations = self._output_array()
 
         islands = self.decomposition.islands
-        # Per-island (stage_allocs, scratch_allocs, reuses), filled by index
-        # position so threaded islands never contend on a shared counter.
+        # Per-island (stage_allocs, scratch_allocs, reuses) and fault
+        # counters, filled by index position so threaded islands never
+        # contend on a shared counter.
         island_counts: List[Tuple[int, int, int]] = [(0, 0, 0)] * len(islands)
+        island_faults: List[Optional[FaultStats]] = [None] * len(islands)
 
-        def run_island(position_island: Tuple[int, object]) -> None:
-            position, island = position_island
+        def fault_slot(position: int) -> FaultStats:
+            stats = island_faults[position]
+            if stats is None:
+                stats = island_faults[position] = FaultStats()
+            return stats
+
+        def run_island_attempt(position: int, island, attempt: int) -> None:
+            fired = (
+                self.fault_injector.fire(step_index, island.index)
+                if self.fault_injector is not None
+                else ()
+            )
+            if fired:
+                apply_pre_faults(
+                    fired, fault_slot(position), island.index, step_index, attempt
+                )
             if self._compiled is not None:
                 compiled = self._compiled[island.index]
                 workspace = compiled.workspace
@@ -300,13 +430,93 @@ class PartitionedRunner:
                     stats.reused_buffers + stats.scratch_reused,
                 )
             out[island.part.slices()] = results[self.output_field].view(island.part)
+            if fired:
+                apply_post_faults(
+                    fired, fault_slot(position), out[island.part.slices()]
+                )
 
-        if self.threads == 1 or len(islands) == 1:
-            for item in enumerate(islands):
-                run_island(item)
-        else:
-            # list() propagates any island's exception to the caller.
-            list(self._executor().map(run_island, enumerate(islands)))
+        def run_island(position_island: Tuple[int, object]) -> None:
+            position, island = position_island
+            attempt = 0
+            while True:
+                try:
+                    run_island_attempt(position, island, attempt)
+                except Exception as error:
+                    attempt += 1
+                    if attempt > self.max_retries:
+                        stats = fault_slot(position)
+                        stats.islands_failed += 1
+                        raise IslandFailure(
+                            island.index, step_index, attempt, error
+                        ) from error
+                    stats = fault_slot(position)
+                    stats.retries += 1
+                    self._fresh_island_resources(island.index)
+                    if self.retry_backoff:
+                        time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+                else:
+                    if attempt:
+                        fault_slot(position).retry_successes += 1
+                    return
+
+        errors: List[BaseException] = []
+        try:
+            if self.threads == 1 or len(islands) == 1 or self._degraded:
+                for item in enumerate(islands):
+                    try:
+                        run_island(item)
+                    except Exception as error:
+                        errors.append(error)
+                        break  # the step is lost; don't compute the rest
+            else:
+                futures = []
+                try:
+                    executor = self._executor()
+                    for item in enumerate(islands):
+                        futures.append(executor.submit(run_island, item))
+                except RuntimeError:
+                    if self._closed:
+                        raise
+                    # The pool itself is broken (not a deliberate close):
+                    # degrade to serial in-process execution and carry on.
+                    # Tasks that did get submitted must finish (or be
+                    # cancelled) first — the serial rerun may not race a
+                    # live worker for the same island's arena.  Re-running
+                    # a completed island is harmless: identical inputs
+                    # rewrite identical bytes.
+                    self._degraded = True
+                    for future in futures:
+                        future.cancel()
+                    for future in futures:
+                        if not future.cancelled():
+                            try:
+                                future.result()
+                            except Exception:
+                                pass  # the serial rerun decides the outcome
+                    for item in enumerate(islands):
+                        try:
+                            run_island(item)
+                        except Exception as error:
+                            errors.append(error)
+                            break
+                else:
+                    # Collect every island's outcome; one failure must not
+                    # leave siblings half-cancelled with buffers in flight.
+                    for future in futures:
+                        try:
+                            future.result()
+                        except Exception as error:
+                            errors.append(error)
+        finally:
+            for stats in island_faults:
+                if stats is not None:
+                    self.fault_stats.absorb(stats)
+            if self._degraded:
+                self.fault_stats.degraded_steps += 1
+
+        if errors:
+            self._invalidate_after_failure(out)
+            raise errors[0]
 
         stage_allocations = sum(c[0] for c in island_counts)
         scratch_allocations = sum(c[1] for c in island_counts)
@@ -324,6 +534,7 @@ class PartitionedRunner:
             stage_allocations=stage_allocations,
             scratch_allocations=scratch_allocations,
         )
+        self._step_index = step_index + 1
         return out
 
 
@@ -336,7 +547,10 @@ class MpdataIslandSolver:
 
     The solver is a context manager (closing releases the runner's thread
     pool).  ``reuse_buffers`` / ``reuse_output`` configure the underlying
-    steady-state engine — see :class:`PartitionedRunner`.
+    steady-state engine; ``max_retries`` / ``retry_backoff`` /
+    ``fault_injector`` its fault tolerance — see
+    :class:`PartitionedRunner`.  Checkpointed rollback-and-replay is
+    enabled per run via :meth:`run`'s ``recovery`` policy.
     """
 
     def __init__(
@@ -351,6 +565,9 @@ class MpdataIslandSolver:
         compiled: bool = False,
         reuse_buffers: bool = True,
         reuse_output: bool = False,
+        max_retries: int = 0,
+        retry_backoff: float = 0.0,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         self.runner = PartitionedRunner(
             program if program is not None else mpdata_program(),
@@ -363,7 +580,11 @@ class MpdataIslandSolver:
             compiled=compiled,
             reuse_buffers=reuse_buffers,
             reuse_output=reuse_output,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            fault_injector=fault_injector,
         )
+        self.last_recovery_report = None
 
     @property
     def decomposition(self) -> IslandDecomposition:
@@ -395,21 +616,38 @@ class MpdataIslandSolver:
         state.validate()
         return self.runner.step(self._arrays(state))
 
-    def run(self, state: MpdataState, steps: int) -> np.ndarray:
+    def run(self, state: MpdataState, steps: int, recovery=None) -> np.ndarray:
         """Advance ``steps`` time steps.
 
         The state is validated **once**; the loop then steps on raw
         arrays, telling the runner that only the scalar field changes
         between steps — the velocities and density are static, so their
         ghost-extended buffers are filled exactly once.
+
+        With a :class:`~repro.runtime.recovery.RecoveryPolicy` as
+        ``recovery`` the run adds periodic checkpoints, per-step
+        numerical guards, and rollback-and-replay to the last good
+        checkpoint when a step exhausts its retries or fails a guard;
+        the resulting :class:`~repro.runtime.recovery.RecoveryReport`
+        lands in :attr:`last_recovery_report`.  Recovered runs are
+        bit-identical to fault-free ones: replayed steps recompute the
+        same deterministic expressions on checkpoint state.
         """
         if steps < 0:
             raise ValueError("steps must be non-negative")
+        if recovery is not None:
+            from .recovery import run_with_recovery
+
+            final, report = run_with_recovery(self, state, steps, recovery)
+            self.last_recovery_report = report
+            return final
         state.validate()
         arrays = self._arrays(state)
         arrays[FIELD_X] = np.asarray(state.x, dtype=self.runner.dtype)
         changed: Optional[Set[str]] = None  # first step fills everything
-        for _ in range(steps):
-            arrays[FIELD_X] = self.runner.step(arrays, changed=changed)
+        for index in range(steps):
+            arrays[FIELD_X] = self.runner.step(
+                arrays, changed=changed, step_index=index
+            )
             changed = {FIELD_X}
         return arrays[FIELD_X]

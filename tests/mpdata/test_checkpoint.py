@@ -58,6 +58,51 @@ class TestRoundTrip:
         np.testing.assert_array_equal(resumed, unbroken)
 
 
+class TestAtomicWrite:
+    """A crash mid-write must never leave a truncated .npz behind."""
+
+    def _crash_mid_savez(self, monkeypatch):
+        import repro.mpdata.checkpoint as checkpoint_module
+
+        real_savez = np.savez
+
+        def dying_savez(target, **arrays):
+            # Write a real partial archive, then die — a crash (or a
+            # full disk, or a SIGKILL) halfway through serialization.
+            partial = {name: arrays[name] for name in list(arrays)[:2]}
+            real_savez(target, **partial)
+            raise OSError("simulated crash mid-write")
+
+        monkeypatch.setattr(checkpoint_module.np, "savez", dying_savez)
+
+    def test_partial_file_never_observed_at_target(self, tmp_path, monkeypatch):
+        state = random_state(SHAPE, seed=9)
+        self._crash_mid_savez(monkeypatch)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_checkpoint(tmp_path / "run", state, step=3)
+        # Neither a truncated checkpoint nor temp litter survives.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_failed_overwrite_preserves_previous_checkpoint(
+        self, tmp_path, monkeypatch
+    ):
+        state = random_state(SHAPE, seed=10)
+        path = save_checkpoint(tmp_path / "run", state, step=3)
+        later = random_state(SHAPE, seed=11)
+        self._crash_mid_savez(monkeypatch)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_checkpoint(path, later, step=6)
+        restored = load_checkpoint(path)  # the old checkpoint, intact
+        assert restored.step == 3
+        np.testing.assert_array_equal(restored.state.x, state.x)
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        state = random_state(SHAPE, seed=12)
+        save_checkpoint(tmp_path / "run", state, step=1)
+        names = [p.name for p in tmp_path.iterdir()]
+        assert names == ["run.npz"]
+
+
 class TestValidation:
     def test_negative_step_rejected(self):
         with pytest.raises(ValueError):

@@ -32,6 +32,31 @@ class TestParser:
         assert args.processors == 8
         assert tuple(args.shape) == (64, 32, 16)
 
+    def test_engine_fault_options(self):
+        args = build_parser().parse_args(
+            [
+                "engine", "--faults", "crash@island=1,step=3",
+                "corrupt@island=0,step=7", "--checkpoint-every", "5",
+                "--checkpoint-dir", "ckpts", "--retries", "3",
+                "--rollbacks", "4", "--mass-drift-limit", "1e-6",
+            ]
+        )
+        assert args.faults == [
+            "crash@island=1,step=3", "corrupt@island=0,step=7",
+        ]
+        assert args.checkpoint_every == 5
+        assert args.checkpoint_dir == "ckpts"
+        assert args.retries == 3
+        assert args.rollbacks == 4
+        assert args.mass_drift_limit == 1e-6
+        assert not args.no_guards
+
+    def test_engine_defaults_select_steady_state_mode(self):
+        args = build_parser().parse_args(["engine"])
+        assert args.faults is None
+        assert args.checkpoint_every is None
+        assert args.checkpoint_dir is None
+
 
 class TestCommands:
     def test_table2_output(self, capsys):
@@ -64,3 +89,33 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "best first" in out
         assert "islands" in out
+
+    def test_engine_fault_run_recovers_bit_identical(self, capsys, tmp_path):
+        code = main(
+            [
+                "engine", "--shape", "16", "12", "8", "--steps", "8",
+                "--islands", "3",
+                "--faults", "crash@island=1,step=2", "corrupt@island=0,step=5",
+                "--checkpoint-every", "3",
+                "--checkpoint-dir", str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Recovery report: 8/8 steps completed" in out
+        assert "bit-identical to fault-free run: True" in out
+        assert list(tmp_path.glob("*.npz"))  # checkpoints really landed
+
+    def test_engine_fault_run_unrecoverable_exit_code(self, capsys):
+        code = main(
+            [
+                "engine", "--shape", "16", "12", "8", "--steps", "6",
+                "--islands", "2",
+                "--faults", "crash@island=0,step=3,attempts=99",
+                "--checkpoint-every", "2", "--retries", "1",
+                "--rollbacks", "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "UNRECOVERABLE" in out
