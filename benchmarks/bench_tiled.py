@@ -1,0 +1,108 @@
+"""Benchmark: flat vs tiled (3+1)D execution of the compiled engine.
+
+Times the same partitioned MPDATA configuration three ways — flat
+compiled islands, block-by-block tiled islands, and tiled islands swept
+by an intra-island thread team — across island counts, and writes
+``BENCH_tiled.json`` at the repository root so future PRs have a perf
+trajectory.
+
+The grid is sized so the flat engine's per-island live set (every
+intermediate of the 17 stages at island extent) overflows the last-level
+cache, which is the regime the (3+1)D decomposition exists for: a block's
+entire step stays cache-resident, so main memory sees only the compulsory
+input/output streams (paper Sect. 3.2).  All modes are checked
+bit-identical, not just fast.
+
+Run standalone (writes the JSON):
+
+.. code-block:: console
+
+    python benchmarks/bench_tiled.py            # full config
+    python benchmarks/bench_tiled.py --smoke    # tiny, no JSON
+
+or under the benchmark suite: ``pytest benchmarks/bench_tiled.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+FULL_SHAPE = (256, 128, 64)
+FULL_STEPS = 3
+FULL_BLOCK = (32, 32, 64)
+FULL_ISLANDS = (1, 2, 4)
+SMOKE_SHAPE = (32, 16, 8)
+SMOKE_STEPS = 2
+SMOKE_BLOCK = (8, 8, 8)
+SMOKE_ISLANDS = (2,)
+INTRA_THREADS = 2
+DEFAULT_JSON = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_tiled.json"
+)
+
+
+def run(smoke: bool = False, json_path=None):
+    """Measure flat vs tiled vs tiled+team; returns {islands: report}."""
+    from repro.runtime import measure_tiled_engine
+
+    shape = SMOKE_SHAPE if smoke else FULL_SHAPE
+    steps = SMOKE_STEPS if smoke else FULL_STEPS
+    block = SMOKE_BLOCK if smoke else FULL_BLOCK
+    island_counts = SMOKE_ISLANDS if smoke else FULL_ISLANDS
+    reports = {
+        islands: measure_tiled_engine(
+            shape=shape,
+            steps=steps,
+            islands=islands,
+            block_shape=block,
+            intra_threads=INTRA_THREADS,
+        )
+        for islands in island_counts
+    }
+    if json_path is not None:
+        payload = {
+            f"islands={islands}": report.to_dict()
+            for islands, report in reports.items()
+        }
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+    return reports
+
+
+def bench_tiled_engine(benchmark, record_table):
+    """Benchmark-suite entry: smoke-sized, records the rendered tables."""
+    reports = benchmark.pedantic(run, kwargs={"smoke": True}, rounds=1, iterations=1)
+    record_table(
+        "\n\n".join(report.render() for report in reports.values())
+    )
+    for report in reports.values():
+        assert report.bit_identical
+        for numbers in report.modes.values():
+            assert numbers["allocations_per_step"] == 0.0
+
+
+def main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny config, no JSON")
+    parser.add_argument("--json", default=None, metavar="PATH")
+    args = parser.parse_args()
+    json_path = args.json
+    if json_path is None and not args.smoke:
+        json_path = DEFAULT_JSON
+    reports = run(smoke=args.smoke, json_path=json_path)
+    for islands, report in reports.items():
+        print(f"== islands={islands} ==")
+        print(report.render())
+        print()
+    if json_path is not None:
+        print(f"wrote {json_path}")
+    return 0 if all(r.bit_identical for r in reports.values()) else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -14,6 +14,8 @@ strategy for a workload:
     python -m repro engine              # steady-state engine counters
     python -m repro engine --faults crash@island=1,step=3 \\
         --checkpoint-every 5            # fault-tolerant run + recovery report
+    python -m repro engine --tiled --block-shape 32 32 16 \\
+        --intra-threads 2 --timings     # flat vs tiled (3+1)D backend
 """
 
 from __future__ import annotations
@@ -106,6 +108,41 @@ def build_parser() -> argparse.ArgumentParser:
     engine.add_argument(
         "--json", metavar="PATH", default=None,
         help="also write the report as JSON (e.g. BENCH_steady_state.json)",
+    )
+    tiled = engine.add_argument_group(
+        "tiled (3+1)D backend",
+        "execute island interiors block by block (all stages per block "
+        "stay cache-resident) and compare against the flat engine "
+        "bit-for-bit",
+    )
+    tiled.add_argument(
+        "--tiled", action="store_true",
+        help="run the tiled backend comparison (flat vs tiled vs "
+        "tiled+team)",
+    )
+    tiled.add_argument(
+        "--block-shape", type=int, nargs=3, default=None, metavar="B",
+        help="block extents (default: cost-model choice for "
+        "--block-cache-kib)",
+    )
+    tiled.add_argument(
+        "--intra-threads", type=int, default=1, metavar="N",
+        help="intra-island thread team sweeping the block list (default 1)",
+    )
+    tiled.add_argument(
+        "--block-cache-kib", type=int, default=2048, metavar="KIB",
+        help="cache budget per block for the automatic block shape "
+        "(default 2048 KiB)",
+    )
+    tiled.add_argument(
+        "--autotune-blocks", action="store_true",
+        help="search block shapes by timing real tiled steps before the "
+        "comparison",
+    )
+    tiled.add_argument(
+        "--timings", action="store_true",
+        help="collect and print the per-island / per-block / per-stage "
+        "wall-time breakdown",
     )
     faults = engine.add_argument_group(
         "fault tolerance",
@@ -297,6 +334,57 @@ def _run_engine(shape, steps, islands, threads, compiled, json_path) -> int:
     return 0 if report.bit_identical else 1
 
 
+def _run_engine_tiled(args) -> int:
+    """Flat vs tiled (3+1)D engine comparison, optionally autotuned."""
+    from .runtime import measure_tiled_engine
+
+    shape = tuple(args.shape)
+    block_shape = tuple(args.block_shape) if args.block_shape else None
+    cache_bytes = args.block_cache_kib * 1024
+    if args.autotune_blocks:
+        from .mpdata import mpdata_program
+        from .stencil import Box, autotune_blocks, measured_objective
+
+        result = autotune_blocks(
+            mpdata_program(),
+            Box((0, 0, 0), shape),
+            cache_bytes,
+            measured_objective(
+                shape,
+                islands=args.islands,
+                intra_threads=args.intra_threads,
+            ),
+            max_candidates=8,
+        )
+        block_shape = result.best.block_shape
+        print(
+            f"autotuned block shape: {block_shape} "
+            f"({result.best_score * 1e3:.2f} ms/step, "
+            f"{result.evaluated} candidates timed)"
+        )
+        for shape_option, seconds in result.ranking[:5]:
+            print(f"  {str(shape_option):<16} {seconds * 1e3:8.2f} ms/step")
+        print()
+    report = measure_tiled_engine(
+        shape=shape,
+        steps=args.steps,
+        islands=args.islands,
+        threads=args.threads,
+        block_shape=block_shape,
+        intra_threads=args.intra_threads,
+        block_cache_bytes=cache_bytes,
+        collect_timings=args.timings,
+    )
+    print(report.render())
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0 if report.bit_identical else 1
+
+
 def _run_engine_faults(args) -> int:
     """Fault-tolerant run vs fault-free reference, bit-compared."""
     import numpy as np
@@ -372,6 +460,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             or args.checkpoint_dir is not None
         ):
             return _run_engine_faults(args)
+        if args.tiled or args.autotune_blocks:
+            return _run_engine_tiled(args)
         return _run_engine(
             args.shape, args.steps, args.islands, args.threads,
             args.compiled, args.json,

@@ -13,6 +13,7 @@ from .diagnostics import (
     RunHistory,
     RunRecorder,
     StepDiagnostics,
+    StepTimings,
     check_step_health,
 )
 from .faults import (
@@ -36,7 +37,12 @@ from .recovery import (
     UnrecoverableRunError,
     run_with_recovery,
 )
-from .steady import SteadyStateReport, measure_steady_state
+from .steady import (
+    SteadyStateReport,
+    TiledEngineReport,
+    measure_steady_state,
+    measure_tiled_engine,
+)
 from .verify import VerificationResult, verify_islands, verify_variants
 
 __all__ = [
@@ -55,11 +61,14 @@ __all__ = [
     "RunRecorder",
     "StepDiagnostics",
     "StepStats",
+    "StepTimings",
     "SteadyStateReport",
+    "TiledEngineReport",
     "UnrecoverableRunError",
     "VerificationResult",
     "check_step_health",
     "measure_steady_state",
+    "measure_tiled_engine",
     "parse_fault_spec",
     "run_with_recovery",
     "verify_islands",

@@ -37,6 +37,7 @@ from ..mpdata.stages import FIELD_DENSITY, FIELD_X, mpdata_program
 from ..stencil import ArrayRegion, Box, StencilProgram, execute_plan, full_box
 from ..stencil.expr import EvalArena
 from ..stencil.interpreter import StageArena
+from .diagnostics import StepTimings
 from .faults import (
     FaultInjector,
     FaultStats,
@@ -79,6 +80,11 @@ class StepStats:
     (ghost-extended inputs, the assembled output, per-island stage storage
     and ufunc scratch); ``reused`` counts buffer-pool hits.  A warmed-up
     steady-state step reports ``allocations == 0``.
+
+    ``timings`` (populated when the runner was built with
+    ``collect_timings``) attributes the step's wall time: per-island sweep
+    times, per-block times inside tiled islands, and per-stage seconds —
+    see :class:`~repro.runtime.diagnostics.StepTimings`.
     """
 
     allocations: int
@@ -87,6 +93,7 @@ class StepStats:
     output_allocations: int = 0
     stage_allocations: int = 0
     scratch_allocations: int = 0
+    timings: Optional[StepTimings] = None
 
 
 class PartitionedRunner:
@@ -138,6 +145,25 @@ class PartitionedRunner:
         crash / slow / corrupt faults are applied inside island tasks,
         keyed by (step, island).  Testing hook; ``None`` in production.
         Fault-tolerance activity is counted in :attr:`fault_stats`.
+    block_shape:
+        When given, islands execute **tiled**: each island's part is
+        covered by (3+1)D blocks of this nominal shape and every block
+        runs all program stages back to back on a per-block compiled
+        step with a cache-sized persistent workspace (see
+        :mod:`repro.stencil.tiled_exec`).  Bit-identical to flat
+        execution; steady state still allocates nothing.  A failure in
+        any block invalidates and retries the *whole island step* — the
+        island, not the block, is the retry unit.
+    intra_threads:
+        Size of the intra-island work team sweeping each island's block
+        list (static chunking, no per-stage barrier; the only sync is
+        the end of the island's sweep).  Requires ``block_shape``.
+        Composes with ``threads``: islands in parallel outside,
+        ``intra_threads`` workers per island inside.
+    collect_timings:
+        Record per-island sweep times, per-block times (tiled) and
+        per-stage wall seconds into ``last_step_stats.timings``.  Adds
+        one clock read per stage per island per step.
     """
 
     def __init__(
@@ -156,6 +182,9 @@ class PartitionedRunner:
         max_retries: int = 0,
         retry_backoff: float = 0.0,
         fault_injector: Optional[FaultInjector] = None,
+        block_shape: Optional[Tuple[int, int, int]] = None,
+        intra_threads: int = 1,
+        collect_timings: bool = False,
     ) -> None:
         outputs = program.output_fields
         if len(outputs) != 1:
@@ -164,6 +193,10 @@ class PartitionedRunner:
             raise ValueError("max_retries must be non-negative")
         if retry_backoff < 0:
             raise ValueError("retry_backoff must be non-negative")
+        if intra_threads > 1 and block_shape is None:
+            raise ValueError(
+                "intra_threads teams sweep (3+1)D blocks; pass block_shape"
+            )
         self.program = program
         self.shape = tuple(shape)
         self.boundary = boundary
@@ -176,6 +209,9 @@ class PartitionedRunner:
         self.retry_backoff = retry_backoff
         self.fault_injector = fault_injector
         self.fault_stats = FaultStats()
+        self.block_shape = tuple(block_shape) if block_shape is not None else None
+        self.intra_threads = max(1, intra_threads)
+        self.collect_timings = collect_timings
         self._degraded = False  # threaded pool broke; running serial
         self._step_index = 0  # logical step counter for fault keying
 
@@ -190,9 +226,29 @@ class PartitionedRunner:
             clip_domain=self.extended_domain,
             partition=partition,
         )
-        # Optionally specialize each island's step to straight-line NumPy.
+        # Tiled backend: per-island block sweeps (always compiled), or
+        # optionally specialize each island's flat step to straight-line
+        # NumPy.  block_shape takes precedence over `compiled`.
         self._compiled: Optional[Dict[int, object]] = None
-        if compiled:
+        self._tiled: Optional[Dict[int, object]] = None
+        if self.block_shape is not None:
+            from ..stencil.tiled_exec import compile_plan_tiled
+            from ..stencil.tiling import plan_blocks_exact
+
+            self._tiled = {
+                island.index: compile_plan_tiled(
+                    program,
+                    island.halo_plan,
+                    plan_blocks_exact(program, island.part, self.block_shape),
+                    clip_domain=self.extended_domain,
+                    dtype=dtype,
+                    reuse_buffers=reuse_buffers,
+                    intra_threads=self.intra_threads,
+                    timed=collect_timings,
+                )
+                for island in self.decomposition.islands
+            }
+        elif compiled:
             from ..stencil import compile_plan
 
             self._compiled = {
@@ -201,13 +257,14 @@ class PartitionedRunner:
                     island.halo_plan,
                     dtype=dtype,
                     reuse_buffers=reuse_buffers,
+                    timed=collect_timings,
                 )
                 for island in self.decomposition.islands
             }
         # Per-island interpreter arenas (steady-state mode, interpreted).
         self._arenas: Dict[int, StageArena] = {}
         self._scratch: Dict[int, EvalArena] = {}
-        if reuse_buffers and not compiled:
+        if reuse_buffers and not compiled and self._tiled is None:
             for island in self.decomposition.islands:
                 self._arenas[island.index] = StageArena(self.dtype)
                 self._scratch[island.index] = EvalArena(self.dtype)
@@ -222,11 +279,14 @@ class PartitionedRunner:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut down the persistent thread pool (idempotent)."""
+        """Shut down the persistent thread pools (idempotent)."""
         self._closed = True
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        if self._tiled is not None:
+            for tiled in self._tiled.values():
+                tiled.close()
 
     def __enter__(self) -> "PartitionedRunner":
         return self
@@ -320,8 +380,13 @@ class PartitionedRunner:
         indeterminate state; a retry therefore starts from fresh storage.
         Only the failed island pays — its neighbours keep their warm
         buffers, which is exactly the isolation the islands approach buys.
+        For a tiled island every block workspace is reset: a single failed
+        block invalidates the whole island step, so the whole sweep
+        restarts pristine.
         """
-        if self._compiled is not None:
+        if self._tiled is not None:
+            self._tiled[island_index].refresh_workspaces()
+        elif self._compiled is not None:
             compiled = self._compiled[island_index]
             if compiled.persistent:
                 compiled.persistent = True  # installs a fresh Workspace
@@ -378,17 +443,34 @@ class PartitionedRunner:
         out, output_allocations = self._output_array()
 
         islands = self.decomposition.islands
-        # Per-island (stage_allocs, scratch_allocs, reuses) and fault
-        # counters, filled by index position so threaded islands never
-        # contend on a shared counter.
+        # Per-island (stage_allocs, scratch_allocs, reuses), fault and
+        # timing records, filled by index position so threaded islands
+        # never contend on a shared counter.
         island_counts: List[Tuple[int, int, int]] = [(0, 0, 0)] * len(islands)
         island_faults: List[Optional[FaultStats]] = [None] * len(islands)
+        timing = self.collect_timings
+        island_seconds: List[float] = [0.0] * len(islands)
+        island_blocks: List[Tuple[float, ...]] = [()] * len(islands)
+        island_stages: List[Optional[Dict[str, float]]] = [None] * len(islands)
 
         def fault_slot(position: int) -> FaultStats:
             stats = island_faults[position]
             if stats is None:
                 stats = island_faults[position] = FaultStats()
             return stats
+
+        def stage_delta(
+            after: Optional[Dict[str, float]],
+            before: Optional[Dict[str, float]],
+        ) -> Optional[Dict[str, float]]:
+            if after is None:
+                return None
+            if not before:
+                return dict(after)
+            return {
+                name: seconds - before.get(name, 0.0)
+                for name, seconds in after.items()
+            }
 
         def run_island_attempt(position: int, island, attempt: int) -> None:
             fired = (
@@ -400,7 +482,24 @@ class PartitionedRunner:
                 apply_pre_faults(
                     fired, fault_slot(position), island.index, step_index, attempt
                 )
-            if self._compiled is not None:
+            begin = time.perf_counter() if timing else 0.0
+            if self._tiled is not None:
+                tiled = self._tiled[island.index]
+                before = tiled.counters()
+                stage_before = tiled.stage_seconds if timing else None
+                tiled.execute(inputs, out)
+                after = tiled.counters()
+                island_counts[position] = (
+                    after[0] - before[0],
+                    0,
+                    after[1] - before[1],
+                )
+                if timing:
+                    island_blocks[position] = tiled.last_block_seconds or ()
+                    island_stages[position] = stage_delta(
+                        tiled.stage_seconds, stage_before
+                    )
+            elif self._compiled is not None:
                 compiled = self._compiled[island.index]
                 workspace = compiled.workspace
                 before = (
@@ -408,6 +507,7 @@ class PartitionedRunner:
                     if workspace is not None
                     else (0, 0)
                 )
+                stage_before = compiled.stage_seconds if timing else None
                 results = compiled(inputs)
                 workspace = compiled.last_workspace
                 island_counts[position] = (
@@ -415,6 +515,13 @@ class PartitionedRunner:
                     0,
                     workspace.reuses - before[1],
                 )
+                out[island.part.slices()] = results[self.output_field].view(
+                    island.part
+                )
+                if timing:
+                    island_stages[position] = stage_delta(
+                        compiled.stage_seconds, stage_before
+                    )
             else:
                 results, stats = execute_plan(
                     self.program,
@@ -423,13 +530,20 @@ class PartitionedRunner:
                     dtype=self.dtype,
                     arena=self._arenas.get(island.index),
                     scratch=self._scratch.get(island.index),
+                    collect_timing=timing,
                 )
                 island_counts[position] = (
                     stats.allocations,
                     stats.scratch_allocations,
                     stats.reused_buffers + stats.scratch_reused,
                 )
-            out[island.part.slices()] = results[self.output_field].view(island.part)
+                out[island.part.slices()] = results[self.output_field].view(
+                    island.part
+                )
+                if timing:
+                    island_stages[position] = stats.stage_seconds
+            if timing:
+                island_seconds[position] = time.perf_counter() - begin
             if fired:
                 apply_post_faults(
                     fired, fault_slot(position), out[island.part.slices()]
@@ -521,6 +635,17 @@ class PartitionedRunner:
         stage_allocations = sum(c[0] for c in island_counts)
         scratch_allocations = sum(c[1] for c in island_counts)
         reused = ghost_reused + sum(c[2] for c in island_counts)
+        timings: Optional[StepTimings] = None
+        if timing:
+            merged: Dict[str, float] = {}
+            for per_island in island_stages:
+                for name, seconds in (per_island or {}).items():
+                    merged[name] = merged.get(name, 0.0) + seconds
+            timings = StepTimings(
+                island_seconds=tuple(island_seconds),
+                block_seconds=tuple(island_blocks),
+                stage_seconds=merged,
+            )
         self.last_step_stats = StepStats(
             allocations=(
                 ghost_allocations
@@ -533,6 +658,7 @@ class PartitionedRunner:
             output_allocations=output_allocations,
             stage_allocations=stage_allocations,
             scratch_allocations=scratch_allocations,
+            timings=timings,
         )
         self._step_index = step_index + 1
         return out
@@ -548,8 +674,9 @@ class MpdataIslandSolver:
     The solver is a context manager (closing releases the runner's thread
     pool).  ``reuse_buffers`` / ``reuse_output`` configure the underlying
     steady-state engine; ``max_retries`` / ``retry_backoff`` /
-    ``fault_injector`` its fault tolerance — see
-    :class:`PartitionedRunner`.  Checkpointed rollback-and-replay is
+    ``fault_injector`` its fault tolerance; ``block_shape`` /
+    ``intra_threads`` / ``collect_timings`` its tiled (3+1)D backend —
+    see :class:`PartitionedRunner`.  Checkpointed rollback-and-replay is
     enabled per run via :meth:`run`'s ``recovery`` policy.
     """
 
@@ -568,6 +695,9 @@ class MpdataIslandSolver:
         max_retries: int = 0,
         retry_backoff: float = 0.0,
         fault_injector: Optional[FaultInjector] = None,
+        block_shape: Optional[Tuple[int, int, int]] = None,
+        intra_threads: int = 1,
+        collect_timings: bool = False,
     ) -> None:
         self.runner = PartitionedRunner(
             program if program is not None else mpdata_program(),
@@ -583,6 +713,9 @@ class MpdataIslandSolver:
             max_retries=max_retries,
             retry_backoff=retry_backoff,
             fault_injector=fault_injector,
+            block_shape=block_shape,
+            intra_threads=intra_threads,
+            collect_timings=collect_timings,
         )
         self.last_recovery_report = None
 

@@ -32,8 +32,14 @@ from .expr import (
     pos,
     sqrt,
 )
-from .autotune import TuningResult, autotune_blocks, candidate_shapes
+from .autotune import (
+    TuningResult,
+    autotune_blocks,
+    candidate_shapes,
+    measured_objective,
+)
 from .codegen import CompiledPlan, Workspace, compile_plan, compile_program
+from .tiled_exec import BlockTask, TiledPlan, compile_plan_tiled
 from .field import Field, FieldRole
 from .gallery import (
     GALLERY,
@@ -95,6 +101,7 @@ __all__ = [
     "AxisExtent",
     "Binary",
     "BlockPlan",
+    "BlockTask",
     "Box",
     "CompiledPlan",
     "Const",
@@ -111,6 +118,7 @@ __all__ = [
     "StageCost",
     "Stage",
     "StencilProgram",
+    "TiledPlan",
     "TuningResult",
     "Unary",
     "Where",
@@ -120,6 +128,7 @@ __all__ = [
     "biharmonic",
     "candidate_shapes",
     "compile_plan",
+    "compile_plan_tiled",
     "compile_program",
     "dependency_levels",
     "describe_program",
@@ -141,6 +150,7 @@ __all__ = [
     "load_program",
     "lint_program",
     "liveness_spans",
+    "measured_objective",
     "neg",
     "plan_blocks",
     "plan_blocks_exact",

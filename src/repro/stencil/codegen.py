@@ -77,17 +77,69 @@ class Workspace:
     call gives the pre-engine behaviour (independent result arrays); a
     workspace kept across calls recycles everything and reports zero
     :attr:`allocations` in steady state.
+
+    ``max_elems`` turns the workspace into a *sized* workspace: every
+    request larger than the cap is refused, and an output slot whose
+    cached shape differs from the request raises instead of silently
+    reallocating.  The tiled executor sizes one workspace per (3+1)D
+    block this way, so a block-sized workspace can never end up backed
+    by a stale larger buffer (which would be numerically harmless but
+    would silently break the cache-residency the blocking exists for).
     """
 
-    __slots__ = ("dtype", "_outputs", "_scratch", "_masks", "allocations", "reuses")
+    __slots__ = (
+        "dtype", "_outputs", "_scratch", "_masks",
+        "allocations", "reuses", "max_elems",
+    )
 
-    def __init__(self, dtype: "np.dtype" = np.float64) -> None:
+    def __init__(
+        self, dtype: "np.dtype" = np.float64, max_elems: Optional[int] = None
+    ) -> None:
         self.dtype = np.dtype(dtype)
         self._outputs: Dict[str, np.ndarray] = {}
         self._scratch: Dict[int, np.ndarray] = {}
         self._masks: Dict[int, np.ndarray] = {}
         self.allocations = 0
         self.reuses = 0
+        self.max_elems = max_elems
+
+    def _check_size(self, need: int, kind: str, key: object) -> None:
+        if self.max_elems is not None and need > self.max_elems:
+            raise ValueError(
+                f"workspace {kind} {key!r} needs {need} elements but this "
+                f"workspace is sized for {self.max_elems}; it belongs to a "
+                "smaller (block) plan"
+            )
+
+    def reset(self) -> None:
+        """Drop every cached buffer (counters stay cumulative).
+
+        The next call re-allocates from scratch — the cheap way to hand a
+        retried island attempt pristine storage without replacing the
+        workspace object (and whatever holds a reference to it).
+        """
+        self._outputs.clear()
+        self._scratch.clear()
+        self._masks.clear()
+
+    def capacity_report(self) -> Dict[str, object]:
+        """What this workspace currently holds, for sizing diagnostics."""
+        outputs = {name: tuple(a.shape) for name, a in self._outputs.items()}
+        scratch = {index: a.size for index, a in self._scratch.items()}
+        masks = {index: a.size for index, a in self._masks.items()}
+        total = (
+            sum(a.nbytes for a in self._outputs.values())
+            + sum(a.nbytes for a in self._scratch.values())
+            + sum(a.nbytes for a in self._masks.values())
+        )
+        return {
+            "outputs": outputs,
+            "scratch_elems": scratch,
+            "mask_elems": masks,
+            "buffers": len(outputs) + len(scratch) + len(masks),
+            "total_bytes": total,
+            "max_elems": self.max_elems,
+        }
 
     def out(self, name: str, shape: Tuple[int, ...]) -> np.ndarray:
         """The output array for stage field ``name`` (contents undefined)."""
@@ -95,6 +147,16 @@ class Workspace:
         if cached is not None and cached.shape == shape:
             self.reuses += 1
             return cached
+        need = 1
+        for extent in shape:
+            need *= extent
+        self._check_size(need, "output", name)
+        if cached is not None and self.max_elems is not None:
+            raise ValueError(
+                f"workspace output {name!r} was {cached.shape}, now "
+                f"requested as {shape}: a sized workspace is pinned to one "
+                "plan's shapes"
+            )
         array = np.empty(shape, dtype=self.dtype)
         self._outputs[name] = array
         self.allocations += 1
@@ -112,6 +174,7 @@ class Workspace:
             need *= extent
         base = table.get(index)
         if base is None or base.size < need:
+            self._check_size(need, "slot", index)
             base = np.empty(need, dtype=dtype)
             table[index] = base
             self.allocations += 1
@@ -149,6 +212,9 @@ class CompiledPlan:
     _workspace_cell: List[Optional[Workspace]] = field(
         default_factory=lambda: [None, None]
     )
+    workspace_max_elems: Optional[int] = None
+    _stage_names: Tuple[str, ...] = ()
+    _stage_seconds: Optional[List[float]] = None
 
     @property
     def persistent(self) -> bool:
@@ -157,7 +223,45 @@ class CompiledPlan:
 
     @persistent.setter
     def persistent(self, value: bool) -> None:
-        self._workspace_cell[0] = Workspace(self.dtype) if value else None
+        self._workspace_cell[0] = (
+            Workspace(self.dtype, self.workspace_max_elems) if value else None
+        )
+
+    def use_workspace(self, workspace: Workspace) -> None:
+        """Pin ``workspace`` as the persistent workspace for every call.
+
+        The tiled executor uses this to hand each block plan a *sized*
+        workspace (``max_elems`` = the block's largest stage box), which
+        also becomes the template for the fresh workspace installed when
+        :attr:`persistent` is re-set after a failure.
+        """
+        if workspace.dtype != self.dtype:
+            raise ValueError(
+                f"workspace dtype {workspace.dtype} does not match plan "
+                f"dtype {self.dtype}"
+            )
+        self.workspace_max_elems = workspace.max_elems
+        self._workspace_cell[0] = workspace
+
+    @property
+    def timed(self) -> bool:
+        """Whether calls record cumulative per-stage wall time."""
+        return self._stage_seconds is not None
+
+    @property
+    def stage_seconds(self) -> Optional[Dict[str, float]]:
+        """Cumulative wall seconds per stage name (``None`` if untimed).
+
+        Grows monotonically across calls — callers attribute one step by
+        snapshotting before and after, exactly like the workspace's
+        allocation counters.
+        """
+        if self._stage_seconds is None:
+            return None
+        totals: Dict[str, float] = {}
+        for name, seconds in zip(self._stage_names, self._stage_seconds):
+            totals[name] = totals.get(name, 0.0) + seconds
+        return totals
 
     @property
     def workspace(self) -> Optional[Workspace]:
@@ -311,6 +415,8 @@ def compile_plan(
     plan: HaloPlan,
     dtype: np.dtype = np.float64,
     reuse_buffers: bool = False,
+    timed: bool = False,
+    workspace_max_elems: Optional[int] = None,
 ) -> CompiledPlan:
     """Generate and compile straight-line NumPy code for one halo plan.
 
@@ -320,6 +426,11 @@ def compile_plan(
     every produced stage array (the wrapper re-attaches boxes and filters
     outputs).  With ``reuse_buffers`` the plan starts with a persistent
     :class:`Workspace`, making repeat calls allocation-free.
+
+    ``timed`` interleaves ``perf_counter`` marks between stage blocks so
+    :attr:`CompiledPlan.stage_seconds` accumulates per-stage wall time
+    (one extra clock read per stage per call).  ``workspace_max_elems``
+    sizes every workspace the plan creates — see :class:`Workspace`.
     """
     for declared in program.fields:
         if not declared.name.isidentifier() or declared.name.startswith("_") or (
@@ -349,10 +460,13 @@ def compile_plan(
     signature = ", ".join(sorted(input_anchors))
     lines.append(f"def _step({signature}):")
     lines.append("    _w = _ws()")
+    if timed:
+        lines.append("    _t = _clock()")
     if not any(not b.is_empty() for b in plan.stage_boxes):
         lines.append("    return {}")
     view_counter = 0
     produced: List[str] = []
+    timed_names: List[str] = []
     for index, stage in enumerate(program.stages):
         compute = plan.stage_boxes[index]
         if compute.is_empty():
@@ -397,13 +511,16 @@ def compile_plan(
             lines.append(f"    _m{slot} = _w.mask({slot}, {shape})")
         for statement in statements:
             lines.append(f"    {statement}")
+        if timed:
+            lines.append(f"    _t = _rec({len(timed_names)}, _t)")
+            timed_names.append(stage.name)
         produced.append(stage.output)
     items = ", ".join(f"{name!r}: {name}" for name in produced)
     lines.append(f"    return {{{items}}}")
     source = "\n".join(lines)
 
     workspace_cell: List[Optional[Workspace]] = [
-        Workspace(dtype) if reuse_buffers else None,
+        Workspace(dtype, workspace_max_elems) if reuse_buffers else None,
         None,  # last ephemeral workspace, kept so callers can read stats
     ]
 
@@ -411,7 +528,7 @@ def compile_plan(
         cached = workspace_cell[0]
         if cached is not None:
             return cached
-        workspace_cell[1] = Workspace(dtype)
+        workspace_cell[1] = Workspace(dtype, workspace_max_elems)
         return workspace_cell[1]
 
     namespace = {
@@ -420,6 +537,21 @@ def compile_plan(
         "_neg_part": lambda a, out: np.minimum(a, 0.0, out=out),
         "_ws": _ws,
     }
+    stage_seconds: Optional[List[float]] = None
+    if timed:
+        import time
+
+        clock = time.perf_counter
+        stage_seconds = [0.0] * len(timed_names)
+        seconds = stage_seconds  # bind for the closure
+
+        def _rec(position: int, mark: float) -> float:
+            now = clock()
+            seconds[position] += now - mark
+            return now
+
+        namespace["_clock"] = clock
+        namespace["_rec"] = _rec
     exec(compile(source, f"<stencil:{program.name}>", "exec"), namespace)
     return CompiledPlan(
         program=program,
@@ -429,6 +561,9 @@ def compile_plan(
         _input_anchors=input_anchors,
         dtype=dtype,
         _workspace_cell=workspace_cell,
+        workspace_max_elems=workspace_max_elems,
+        _stage_names=tuple(timed_names),
+        _stage_seconds=stage_seconds,
     )
 
 

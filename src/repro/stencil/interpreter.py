@@ -81,6 +81,8 @@ class ExecutionStats:
     reused_buffers: int = 0
     scratch_allocations: int = 0
     scratch_reused: int = 0
+    #: Wall seconds per stage name (populated with ``collect_timing``).
+    stage_seconds: Optional[Dict[str, float]] = None
 
     @property
     def points(self) -> int:
@@ -209,6 +211,7 @@ def execute_plan(
     reuse_buffers: bool = False,
     arena: Optional[StageArena] = None,
     scratch: Optional[EvalArena] = None,
+    collect_timing: bool = False,
 ) -> Tuple[Dict[str, ArrayRegion], ExecutionStats]:
     """Run a program following a precomputed :class:`HaloPlan`.
 
@@ -281,6 +284,9 @@ def execute_plan(
     points_by_stage: Dict[str, int] = {}
     flops = 0
     fresh_allocations = 0
+    stage_seconds: Optional[Dict[str, float]] = {} if collect_timing else None
+    if collect_timing:
+        import time
     for index, stage in enumerate(program.stages):
         compute = plan.stage_boxes[index]
         points_by_stage[stage.name] = compute.size
@@ -299,7 +305,15 @@ def execute_plan(
             base = np.empty(need, dtype=dtype)
             fresh_allocations += 1
         out = base[:need].reshape(compute.shape)
-        stage.expr.evaluate(resolve, out=out, scratch=eval_arena)
+        if stage_seconds is not None:
+            begin = time.perf_counter()
+            stage.expr.evaluate(resolve, out=out, scratch=eval_arena)
+            elapsed = time.perf_counter() - begin
+            stage_seconds[stage.name] = (
+                stage_seconds.get(stage.name, 0.0) + elapsed
+            )
+        else:
+            stage.expr.evaluate(resolve, out=out, scratch=eval_arena)
         storage[stage.output] = ArrayRegion(out, compute)
 
         if stage_arena is not None:
@@ -333,4 +347,5 @@ def execute_plan(
         reused_buffers=reused,
         scratch_allocations=eval_arena.allocations - scratch_alloc0,
         scratch_reused=eval_arena.reuses - scratch_reuse0,
+        stage_seconds=stage_seconds,
     )

@@ -177,21 +177,29 @@ def plan_blocks_exact(
     The autotuner's entry point: it owns the search policy and the cache
     constraint; this function just builds the plan and records the working
     set so the caller can filter.
+
+    Block extents larger than the domain are clamped to the domain — one
+    block along that axis — so the recorded ``block_shape`` and
+    ``working_set`` describe blocks that actually exist.
     """
     if domain.is_empty():
         raise ValueError("cannot block an empty domain")
     if any(extent <= 0 for extent in block_shape):
         raise ValueError("block shape extents must be positive")
+    clamped = tuple(
+        min(extent, domain.shape[axis])
+        for axis, extent in enumerate(block_shape)
+    )
     blocks: List[Box] = []
-    for i0, i1 in _ranges(domain.lo[0], domain.hi[0], block_shape[0]):
-        for j0, j1 in _ranges(domain.lo[1], domain.hi[1], block_shape[1]):
-            for k0, k1 in _ranges(domain.lo[2], domain.hi[2], block_shape[2]):
+    for i0, i1 in _ranges(domain.lo[0], domain.hi[0], clamped[0]):
+        for j0, j1 in _ranges(domain.lo[1], domain.hi[1], clamped[1]):
+            for k0, k1 in _ranges(domain.lo[2], domain.hi[2], clamped[2]):
                 blocks.append(Box((i0, j0, k0), (i1, j1, k1)))
     return BlockPlan(
         domain,
         tuple(blocks),
-        tuple(block_shape),
-        working_set_bytes(program, tuple(block_shape)),
+        clamped,
+        working_set_bytes(program, clamped),
     )
 
 

@@ -12,6 +12,7 @@ from repro.stencil import (
     FieldRole,
     Stage,
     StencilProgram,
+    Workspace,
     compile_plan,
     compile_program,
     execute_plan,
@@ -110,6 +111,86 @@ class TestCompileMpdata:
         domain = full_box((16, 16, 8))
         with pytest.raises(ValueError, match="ghost"):
             compile_program(mpdata, domain, domain=domain)
+
+
+class TestWorkspaceGuards:
+    def test_reset_drops_buffers_but_keeps_counters(self):
+        ws = Workspace()
+        ws.out("a", (4, 4))
+        ws.scratch(0, (8,))
+        ws.mask(0, (8,))
+        assert ws.allocations == 3
+        ws.reset()
+        report = ws.capacity_report()
+        assert report["buffers"] == 0
+        assert report["total_bytes"] == 0
+        assert ws.allocations == 3  # cumulative across resets
+        ws.out("a", (4, 4))
+        assert ws.allocations == 4  # fresh allocation, not a stale reuse
+
+    def test_capacity_report_contents(self):
+        ws = Workspace(max_elems=64)
+        ws.out("y", (2, 3, 4))
+        ws.scratch(1, (10,))
+        report = ws.capacity_report()
+        assert report["outputs"] == {"y": (2, 3, 4)}
+        assert report["scratch_elems"] == {1: 10}
+        assert report["buffers"] == 2
+        assert report["total_bytes"] == (24 + 10) * 8
+        assert report["max_elems"] == 64
+
+    def test_sized_workspace_refuses_oversized_requests(self):
+        ws = Workspace(max_elems=10)
+        ws.out("a", (2, 5))  # exactly at the cap: fine
+        with pytest.raises(ValueError, match="sized for 10"):
+            ws.out("b", (11,))
+        with pytest.raises(ValueError, match="sized for 10"):
+            ws.scratch(0, (4, 4))
+        with pytest.raises(ValueError, match="sized for 10"):
+            ws.mask(0, (16,))
+
+    def test_sized_workspace_pins_output_shapes(self):
+        """A block-sized workspace must never silently hand back a stale
+        buffer for a differently-shaped request — that is the aliasing
+        bug the sizing exists to prevent."""
+        ws = Workspace(max_elems=100)
+        first = ws.out("y", (4, 5))
+        again = ws.out("y", (4, 5))
+        assert again is first
+        with pytest.raises(ValueError, match="pinned"):
+            ws.out("y", (5, 4))
+
+    def test_unsized_workspace_still_reallocates_freely(self):
+        ws = Workspace()
+        first = ws.out("y", (4, 5))
+        second = ws.out("y", (5, 4))
+        assert second.shape == (5, 4)
+        assert second is not first
+
+    def test_compiled_plan_rejects_mismatched_workspace_dtype(self, chain_program):
+        compiled = compile_program(
+            chain_program, Box((0, 0, 0), (8, 4, 4)), dtype=np.float32
+        )
+        with pytest.raises(ValueError, match="dtype"):
+            compiled.use_workspace(Workspace(np.float64))
+
+    def test_stage_seconds_accumulate_when_timed(self, chain_program):
+        target = Box((0, 0, 0), (8, 4, 4))
+        plan = required_regions(chain_program, target)
+        compiled = compile_plan(chain_program, plan, timed=True)
+        x = np.random.default_rng(2).standard_normal((14, 4, 4))
+        inputs = {"x": ArrayRegion.wrap(x, lo=(-3, 0, 0))}
+        compiled(inputs)
+        first = dict(compiled.stage_seconds)
+        assert set(first) == {"s1", "s2", "s3"}
+        compiled(inputs)
+        second = compiled.stage_seconds
+        assert all(second[name] >= first[name] for name in first)
+
+    def test_untimed_plan_has_no_stage_seconds(self, chain_program):
+        compiled = compile_program(chain_program, Box((0, 0, 0), (8, 4, 4)))
+        assert compiled.timed is False
+        assert compiled.stage_seconds is None
 
 
 class TestCompileValidation:

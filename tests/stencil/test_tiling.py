@@ -7,6 +7,7 @@ from repro.stencil import (
     Box,
     full_box,
     plan_blocks,
+    plan_blocks_exact,
     split_axis,
     working_set_bytes,
 )
@@ -104,3 +105,70 @@ class TestPlanBlocks:
         plan = plan_blocks(mpdata, slab, 2 * 1024 * 1024)
         plan.validate_partition()
         assert all(slab.contains(b) for b in plan.blocks)
+
+
+class TestPlanBlocksExact:
+    def test_exact_shape_tiles_domain(self, mpdata):
+        domain = full_box((24, 16, 8))
+        plan = plan_blocks_exact(mpdata, domain, (8, 8, 8))
+        plan.validate_partition()
+        assert plan.count == 3 * 2 * 1
+        assert plan.block_shape == (8, 8, 8)
+
+    def test_block_larger_than_domain_is_clamped(self, mpdata):
+        """Oversized extents collapse to one block per axis, and the
+        recorded shape / working set describe the clamped block — not a
+        block that never exists."""
+        domain = full_box((12, 10, 8))
+        plan = plan_blocks_exact(mpdata, domain, (64, 64, 64))
+        plan.validate_partition()
+        assert plan.count == 1
+        assert plan.blocks[0] == domain
+        assert plan.block_shape == (12, 10, 8)
+        assert plan.working_set == working_set_bytes(mpdata, (12, 10, 8))
+
+    def test_partial_clamp_per_axis(self, mpdata):
+        domain = full_box((12, 10, 8))
+        plan = plan_blocks_exact(mpdata, domain, (4, 64, 8))
+        plan.validate_partition()
+        assert plan.block_shape == (4, 10, 8)
+        assert plan.count == 3
+
+    def test_axis_extent_one(self, mpdata):
+        """Degenerate pencil domains (an axis of extent 1) still tile."""
+        domain = full_box((16, 1, 8))
+        plan = plan_blocks_exact(mpdata, domain, (4, 4, 4))
+        plan.validate_partition()
+        assert plan.block_shape == (4, 1, 4)
+        assert plan.count == 4 * 1 * 2
+
+    def test_unit_blocks(self, mpdata):
+        """Block extent 1 on every axis: one block per grid point."""
+        domain = full_box((3, 2, 2))
+        plan = plan_blocks_exact(mpdata, domain, (1, 1, 1))
+        plan.validate_partition()
+        assert plan.count == domain.size
+
+    def test_ragged_edges(self, mpdata):
+        """Non-dividing shapes leave smaller edge blocks, never gaps."""
+        domain = full_box((10, 7, 5))
+        plan = plan_blocks_exact(mpdata, domain, (4, 4, 4))
+        plan.validate_partition()
+        widths = sorted({b.shape[0] for b in plan.blocks})
+        assert widths == [2, 4]
+
+    def test_nonpositive_extent_rejected(self, mpdata):
+        with pytest.raises(ValueError, match="positive"):
+            plan_blocks_exact(mpdata, full_box((8, 8, 8)), (0, 4, 4))
+
+    def test_empty_domain_rejected(self, mpdata):
+        with pytest.raises(ValueError, match="empty"):
+            plan_blocks_exact(mpdata, Box((0, 0, 0), (4, 0, 4)), (4, 4, 4))
+
+    def test_halo_deeper_than_block(self, mpdata):
+        """Blocks shallower than MPDATA's transitive halo (depth 3) are
+        legal — each block just re-reads a halo wider than itself."""
+        domain = full_box((8, 8, 8))
+        plan = plan_blocks_exact(mpdata, domain, (2, 2, 2))
+        plan.validate_partition()
+        assert plan.count == 64

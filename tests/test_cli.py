@@ -56,6 +56,22 @@ class TestParser:
         assert args.faults is None
         assert args.checkpoint_every is None
         assert args.checkpoint_dir is None
+        assert not args.tiled
+        assert not args.autotune_blocks
+
+    def test_engine_tiled_options(self):
+        args = build_parser().parse_args(
+            [
+                "engine", "--tiled", "--block-shape", "16", "8", "8",
+                "--intra-threads", "4", "--block-cache-kib", "1024",
+                "--timings",
+            ]
+        )
+        assert args.tiled
+        assert tuple(args.block_shape) == (16, 8, 8)
+        assert args.intra_threads == 4
+        assert args.block_cache_kib == 1024
+        assert args.timings
 
 
 class TestCommands:
@@ -105,6 +121,27 @@ class TestCommands:
         assert "Recovery report: 8/8 steps completed" in out
         assert "bit-identical to fault-free run: True" in out
         assert list(tmp_path.glob("*.npz"))  # checkpoints really landed
+
+    def test_engine_tiled_run_bit_identical(self, capsys, tmp_path):
+        json_path = tmp_path / "tiled.json"
+        code = main(
+            [
+                "engine", "--tiled", "--shape", "16", "12", "8",
+                "--steps", "2", "--islands", "2",
+                "--block-shape", "5", "4", "8", "--intra-threads", "2",
+                "--timings", "--json", str(json_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bit-identical (all modes vs flat): True" in out
+        assert "tiled+team" in out
+        assert "critical path" in out
+        import json
+
+        written = json.loads(json_path.read_text())
+        assert written["bit_identical"] is True
+        assert set(written["modes"]) == {"flat", "tiled", "tiled+team"}
 
     def test_engine_fault_run_unrecoverable_exit_code(self, capsys):
         code = main(
