@@ -20,18 +20,21 @@ or under the benchmark suite: ``pytest benchmarks/bench_faults.py``.
 
 from __future__ import annotations
 
-import json
 import pathlib
+import sys
 import time
+
+_HERE = str(pathlib.Path(__file__).resolve().parent)
+if _HERE not in sys.path:  # also loaded by bare file path (tier-1 suite)
+    sys.path.insert(0, _HERE)
+import common
 
 FULL_SHAPE = (128, 64, 16)
 FULL_STEPS = 10
 SMOKE_SHAPE = (32, 16, 8)
 SMOKE_STEPS = 3
 ISLANDS = 4
-DEFAULT_JSON = pathlib.Path(__file__).resolve().parent.parent / (
-    "BENCH_faults.json"
-)
+DEFAULT_JSON = common.default_json_path("BENCH_faults.json")
 
 
 def run(smoke: bool = False, json_path=None, repeats=5):
@@ -48,16 +51,15 @@ def run(smoke: bool = False, json_path=None, repeats=5):
     import numpy as np
 
     from repro.mpdata import random_state
-    from repro.runtime import MpdataIslandSolver, RecoveryPolicy
+    from repro.runtime import EngineConfig, MpdataIslandSolver, RecoveryPolicy
 
     shape = SMOKE_SHAPE if smoke else FULL_SHAPE
     steps = SMOKE_STEPS if smoke else FULL_STEPS
     state = random_state(shape, seed=0)
+    config = EngineConfig(reuse_buffers=True, reuse_output=True, max_retries=2)
 
     def solver():
-        return MpdataIslandSolver(
-            shape, ISLANDS, reuse_buffers=True, reuse_output=True, max_retries=2,
-        )
+        return MpdataIslandSolver(shape, ISLANDS, config=config)
 
     guards = RecoveryPolicy(
         checkpoint_every=max(1, steps // 2), check_finite=True
@@ -113,8 +115,7 @@ def run(smoke: bool = False, json_path=None, repeats=5):
         "modes": mode_numbers,
     }
     if json_path is not None:
-        with open(json_path, "w") as handle:
-            json.dump(report, handle, indent=2)
+        common.write_json(report, json_path)
     return report
 
 
@@ -151,29 +152,26 @@ def bench_fault_tolerance_overhead(benchmark, record_table):
     assert report["steady_state_allocations_per_step"]["guards"] == 0
 
 
-def main() -> int:
-    import argparse
-
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--smoke", action="store_true", help="tiny config, no JSON")
-    parser.add_argument("--json", default=None, metavar="PATH")
-    args = parser.parse_args()
-    json_path = args.json
-    if json_path is None and not args.smoke:
-        json_path = DEFAULT_JSON
-    report = run(smoke=args.smoke, json_path=json_path)
-    print(render(report))
-    if json_path is not None:
-        print(f"\nwrote {json_path}")
+def _passed(report, smoke: bool) -> bool:
     if not report["bit_identical"]:
-        return 1
+        return False
     if report["steady_state_allocations_per_step"]["guards"] != 0:
-        return 1
-    if args.smoke:
+        return False
+    if smoke:
         # Smoke timings are microseconds of work under CI noise; the
         # < 5 % bar is only meaningful on the full configuration.
-        return 0
-    return 0 if report["modes"]["guards"]["overhead_vs_baseline"] < 0.05 else 1
+        return True
+    return report["modes"]["guards"]["overhead_vs_baseline"] < 0.05
+
+
+def main() -> int:
+    return common.bench_main(
+        __doc__,
+        DEFAULT_JSON,
+        run,
+        sections=lambda report: [(None, render(report))],
+        passed=_passed,
+    )
 
 
 if __name__ == "__main__":

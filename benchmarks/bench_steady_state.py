@@ -19,17 +19,20 @@ The tier-1 test suite exercises the same measurement in smoke mode
 
 from __future__ import annotations
 
-import json
 import pathlib
+import sys
+
+_HERE = str(pathlib.Path(__file__).resolve().parent)
+if _HERE not in sys.path:  # also loaded by bare file path (tier-1 suite)
+    sys.path.insert(0, _HERE)
+import common
 
 FULL_SHAPE = (128, 64, 16)
 FULL_STEPS = 10
 SMOKE_SHAPE = (32, 16, 8)
 SMOKE_STEPS = 3
 ISLANDS = 4
-DEFAULT_JSON = pathlib.Path(__file__).resolve().parent.parent / (
-    "BENCH_steady_state.json"
-)
+DEFAULT_JSON = common.default_json_path("BENCH_steady_state.json")
 
 
 def run(smoke: bool = False, json_path=None):
@@ -47,9 +50,10 @@ def run(smoke: bool = False, json_path=None):
         ),
     }
     if json_path is not None:
-        payload = {name: report.to_dict() for name, report in reports.items()}
-        with open(json_path, "w") as handle:
-            json.dump(payload, handle, indent=2)
+        common.write_json(
+            {name: report.to_dict() for name, report in reports.items()},
+            json_path,
+        )
     return reports
 
 
@@ -65,26 +69,18 @@ def bench_steady_state_engine(benchmark, record_table):
 
 
 def main() -> int:
-    import argparse
-
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--smoke", action="store_true", help="tiny config, no JSON")
-    parser.add_argument("--json", default=None, metavar="PATH")
-    args = parser.parse_args()
-    json_path = args.json
-    if json_path is None and not args.smoke:
-        json_path = DEFAULT_JSON
-    reports = run(smoke=args.smoke, json_path=json_path)
-    for name, report in reports.items():
-        print(f"== {name} ==")
-        print(report.render())
-        print()
-    if json_path is not None:
-        print(f"wrote {json_path}")
-    return 0 if all(r.bit_identical for r in reports.values()) else 1
+    return common.bench_main(
+        __doc__,
+        DEFAULT_JSON,
+        run,
+        sections=lambda reports: (
+            (name, report.render()) for name, report in reports.items()
+        ),
+        passed=lambda reports, smoke: all(
+            r.bit_identical for r in reports.values()
+        ),
+    )
 
 
 if __name__ == "__main__":
-    import sys
-
     sys.exit(main())

@@ -25,8 +25,13 @@ or under the benchmark suite: ``pytest benchmarks/bench_tiled.py``.
 
 from __future__ import annotations
 
-import json
 import pathlib
+import sys
+
+_HERE = str(pathlib.Path(__file__).resolve().parent)
+if _HERE not in sys.path:  # also loaded by bare file path (tier-1 suite)
+    sys.path.insert(0, _HERE)
+import common
 
 FULL_SHAPE = (256, 128, 64)
 FULL_STEPS = 3
@@ -37,9 +42,7 @@ SMOKE_STEPS = 2
 SMOKE_BLOCK = (8, 8, 8)
 SMOKE_ISLANDS = (2,)
 INTRA_THREADS = 2
-DEFAULT_JSON = pathlib.Path(__file__).resolve().parent.parent / (
-    "BENCH_tiled.json"
-)
+DEFAULT_JSON = common.default_json_path("BENCH_tiled.json")
 
 
 def run(smoke: bool = False, json_path=None):
@@ -61,12 +64,13 @@ def run(smoke: bool = False, json_path=None):
         for islands in island_counts
     }
     if json_path is not None:
-        payload = {
-            f"islands={islands}": report.to_dict()
-            for islands, report in reports.items()
-        }
-        with open(json_path, "w") as handle:
-            json.dump(payload, handle, indent=2)
+        common.write_json(
+            {
+                f"islands={islands}": report.to_dict()
+                for islands, report in reports.items()
+            },
+            json_path,
+        )
     return reports
 
 
@@ -83,26 +87,19 @@ def bench_tiled_engine(benchmark, record_table):
 
 
 def main() -> int:
-    import argparse
-
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--smoke", action="store_true", help="tiny config, no JSON")
-    parser.add_argument("--json", default=None, metavar="PATH")
-    args = parser.parse_args()
-    json_path = args.json
-    if json_path is None and not args.smoke:
-        json_path = DEFAULT_JSON
-    reports = run(smoke=args.smoke, json_path=json_path)
-    for islands, report in reports.items():
-        print(f"== islands={islands} ==")
-        print(report.render())
-        print()
-    if json_path is not None:
-        print(f"wrote {json_path}")
-    return 0 if all(r.bit_identical for r in reports.values()) else 1
+    return common.bench_main(
+        __doc__,
+        DEFAULT_JSON,
+        run,
+        sections=lambda reports: (
+            (f"islands={islands}", report.render())
+            for islands, report in reports.items()
+        ),
+        passed=lambda reports, smoke: all(
+            r.bit_identical for r in reports.values()
+        ),
+    )
 
 
 if __name__ == "__main__":
-    import sys
-
     sys.exit(main())

@@ -1,0 +1,99 @@
+"""Shared scaffolding for the standalone benchmark entry points.
+
+Every ``bench_*.py`` with a ``main()`` follows the same contract: a
+``--smoke`` flag selects a tiny configuration, ``--json PATH`` overrides
+where the report artifact is written, full runs default to a
+``BENCH_*.json`` at the repository root and smoke runs write nothing.
+This module holds that contract once; the benchmark files keep only
+their measurement (``run``) and presentation (``sections`` / ``passed``).
+
+The files are loaded both as pytest benchmark modules and by bare file
+path (``importlib.util.spec_from_file_location`` in the tier-1 suite),
+so consumers import this module after putting this directory on
+``sys.path`` — see the loader stanza at the top of any ``bench_*.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+__all__ = [
+    "REPO_ROOT",
+    "default_json_path",
+    "parse_bench_args",
+    "resolve_json_path",
+    "write_json",
+    "bench_main",
+]
+
+
+def default_json_path(filename: str) -> pathlib.Path:
+    """Benchmark artifacts live at the repository root (``BENCH_*.json``)."""
+    return REPO_ROOT / filename
+
+
+def parse_bench_args(
+    description: Optional[str], argv: Optional[List[str]] = None
+) -> argparse.Namespace:
+    """The shared ``--smoke`` / ``--json PATH`` benchmark command line."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny config, no JSON"
+    )
+    parser.add_argument("--json", default=None, metavar="PATH")
+    return parser.parse_args(argv)
+
+
+def resolve_json_path(
+    args: argparse.Namespace, default: pathlib.Path
+) -> Optional[pathlib.Path]:
+    """``--json`` wins; full runs default to the repo artifact; smoke none."""
+    if args.json is not None:
+        return pathlib.Path(args.json)
+    return None if args.smoke else default
+
+
+def write_json(payload: Any, json_path) -> None:
+    with open(json_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def bench_main(
+    description: Optional[str],
+    default_json: pathlib.Path,
+    run: Callable[..., Any],
+    sections: Callable[[Any], Iterable[Tuple[Optional[str], str]]],
+    passed: Callable[[Any, bool], bool],
+    argv: Optional[List[str]] = None,
+) -> int:
+    """Drive one benchmark end to end; returns the process exit code.
+
+    Parameters
+    ----------
+    run:
+        ``run(smoke=..., json_path=...)`` performing the measurement and
+        writing the JSON artifact itself when ``json_path`` is not None.
+    sections:
+        Maps the ``run`` result to ``(title, text)`` pairs to print;
+        a None title prints the text bare, otherwise under ``== title ==``.
+    passed:
+        ``passed(result, smoke)`` — the acceptance check deciding the
+        exit code (criteria may be relaxed under smoke sizing, where
+        timings are microseconds of work under CI noise).
+    """
+    args = parse_bench_args(description, argv)
+    json_path = resolve_json_path(args, default_json)
+    result = run(smoke=args.smoke, json_path=json_path)
+    for title, text in sections(result):
+        if title is not None:
+            print(f"== {title} ==")
+        print(text)
+        print()
+    if json_path is not None:
+        print(f"wrote {json_path}")
+    return 0 if passed(result, args.smoke) else 1

@@ -3,34 +3,22 @@
 Each ``bench_table*.py`` regenerates one table/figure of the paper: the
 benchmark measures the regeneration pipeline, and the rendered
 model-vs-paper table is printed (visible with ``pytest benchmarks/
---benchmark-only -s``) and appended to ``benchmarks/results.txt``.
+--benchmark-only -s``).  Machine-readable artifacts are the
+``BENCH_*.json`` files the standalone entry points write at the
+repository root (see ``benchmarks/common.py``).
 """
 
 from __future__ import annotations
 
-import pathlib
-
 import pytest
-
-_RESULTS = pathlib.Path(__file__).parent / "results.txt"
-
-
-@pytest.fixture(scope="session", autouse=True)
-def _fresh_results_file():
-    if _RESULTS.exists():
-        _RESULTS.unlink()
-    yield
 
 
 @pytest.fixture(scope="session")
 def record_table():
-    """Print a rendered table and append it to benchmarks/results.txt."""
+    """Print a rendered table (shown under ``pytest -s``)."""
 
     def _record(text: str) -> None:
         print()
         print(text)
-        with _RESULTS.open("a") as handle:
-            handle.write(text)
-            handle.write("\n\n")
 
     return _record

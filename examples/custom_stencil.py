@@ -17,7 +17,7 @@ walks the full tool chain:
 import numpy as np
 
 from repro.core import Variant, partition_domain, redundancy_report
-from repro.runtime import PartitionedRunner
+from repro.runtime import EngineConfig, PartitionedRunner
 from repro.stencil import (
     Access,
     Field,
@@ -89,7 +89,9 @@ def main() -> None:
     rng = np.random.default_rng(7)
     arrays = {"c": rng.random(shape) + 0.5}
     whole = PartitionedRunner(program, shape, islands=1)
-    split = PartitionedRunner(program, shape, islands=4, threads=4)
+    split = PartitionedRunner(
+        program, shape, islands=4, config=EngineConfig(threads=4)
+    )
     exact = np.array_equal(whole.step(arrays), split.step(arrays))
     print(f"\n4 threaded islands == whole domain, bit for bit: {exact}")
 

@@ -10,7 +10,7 @@ import numpy as np
 
 from repro.core import Variant
 from repro.mpdata import MpdataSolver, translation_state
-from repro.runtime import MpdataIslandSolver
+from repro.runtime import EngineConfig, MpdataIslandSolver
 
 SHAPE = (64, 32, 16)
 STEPS = 20
@@ -33,7 +33,9 @@ def main() -> None:
 
     # Islands-of-cores run: 4 islands along i, each recomputing its halo,
     # executed on 4 real threads.  Same bits, no inter-island talk.
-    islands = MpdataIslandSolver(SHAPE, islands=4, variant=Variant.A, threads=4)
+    islands = MpdataIslandSolver(
+        SHAPE, islands=4, variant=Variant.A, config=EngineConfig(threads=4)
+    )
     x_islands = islands.run(state, STEPS)
     exact = np.array_equal(x_final, x_islands)
     print(f"islands(4) == whole-domain, bit for bit: {exact}")

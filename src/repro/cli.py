@@ -109,6 +109,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", default=None,
         help="also write the report as JSON (e.g. BENCH_steady_state.json)",
     )
+    engine.add_argument(
+        "--telemetry-jsonl", metavar="PATH", default=None,
+        help="stream per-step telemetry events (allocations, reuse, wall "
+        "time, fault activity) to a JSON Lines file",
+    )
     tiled = engine.add_argument_group(
         "tiled (3+1)D backend",
         "execute island interiors block by block (all stages per block "
@@ -314,16 +319,71 @@ def _run_show(name: str, iord: int, no_fct: bool) -> int:
     return 0
 
 
-def _run_engine(shape, steps, islands, threads, compiled, json_path) -> int:
+def _validate_engine_args(parser, args) -> None:
+    """Reject inconsistent ``engine`` flag combinations up front.
+
+    The engine subcommand multiplexes three modes (steady-state, tiled,
+    fault-tolerant); these checks turn silently-ignored or late-failing
+    flag mixes into immediate, actionable parser errors.
+    """
+    tiled_flags = (
+        args.tiled or args.autotune_blocks or args.block_shape is not None
+    )
+    fault_flags = (
+        args.faults is not None
+        or args.checkpoint_every is not None
+        or args.checkpoint_dir is not None
+    )
+    if args.islands < 1:
+        parser.error("--islands must be at least 1")
+    if args.threads < 1:
+        parser.error("--threads must be at least 1")
+    if args.intra_threads < 1:
+        parser.error("--intra-threads must be at least 1")
+    if args.block_shape is not None and not (
+        args.tiled or args.autotune_blocks
+    ):
+        parser.error(
+            "--block-shape selects the tiled (3+1)D backend; "
+            "add --tiled (or --autotune-blocks)"
+        )
+    if args.intra_threads > 1 and not tiled_flags:
+        parser.error(
+            "--intra-threads teams sweep (3+1)D blocks; "
+            "add --tiled with --block-shape (or --autotune-blocks)"
+        )
+    if fault_flags and tiled_flags:
+        parser.error(
+            "the fault-tolerant run uses the flat engine; drop "
+            "--tiled/--block-shape/--autotune-blocks or the "
+            "--faults/--checkpoint-* flags"
+        )
+    if args.block_shape is not None:
+        if min(args.block_shape) < 1:
+            parser.error("--block-shape extents must be positive")
+        ni, nj, nk = args.shape
+        part_i = -(-ni // args.islands)  # largest island part under variant A
+        bi, bj, bk = args.block_shape
+        if bi > part_i or bj > nj or bk > nk:
+            parser.error(
+                f"--block-shape {bi}x{bj}x{bk} exceeds the island part "
+                f"{part_i}x{nj}x{nk} ({args.islands} islands over "
+                f"{ni}x{nj}x{nk}); shrink the block or use fewer islands"
+            )
+
+
+def _run_engine(args) -> int:
     from .runtime import measure_steady_state
 
     report = measure_steady_state(
-        shape=tuple(shape),
-        steps=steps,
-        islands=islands,
-        threads=threads,
-        compiled=compiled,
+        shape=tuple(args.shape),
+        steps=args.steps,
+        islands=args.islands,
+        threads=args.threads,
+        compiled=args.compiled,
+        telemetry_jsonl=args.telemetry_jsonl,
     )
+    json_path = args.json
     print(report.render())
     if json_path:
         import json
@@ -374,6 +434,7 @@ def _run_engine_tiled(args) -> int:
         intra_threads=args.intra_threads,
         block_cache_bytes=cache_bytes,
         collect_timings=args.timings,
+        telemetry_jsonl=args.telemetry_jsonl,
     )
     print(report.render())
     if args.json:
@@ -387,11 +448,13 @@ def _run_engine_tiled(args) -> int:
 
 def _run_engine_faults(args) -> int:
     """Fault-tolerant run vs fault-free reference, bit-compared."""
+    from dataclasses import replace
+
     import numpy as np
 
     from .mpdata import random_state
     from .runtime import (
-        FaultInjector,
+        EngineConfig,
         MpdataIslandSolver,
         RecoveryPolicy,
         UnrecoverableRunError,
@@ -399,17 +462,13 @@ def _run_engine_faults(args) -> int:
 
     shape = tuple(args.shape)
     state = random_state(shape, seed=2017)
-    common = dict(
-        islands=args.islands,
-        threads=args.threads,
-        compiled=args.compiled,
-        reuse_buffers=True,
-        reuse_output=True,
-    )
-    with MpdataIslandSolver(shape, **common) as reference:
+    config = EngineConfig.from_cli_args(args)
+    reference_config = replace(config, fault_specs=(), max_retries=0)
+    with MpdataIslandSolver(
+        shape, args.islands, config=reference_config
+    ) as reference:
         expected = np.array(reference.run(state, args.steps), copy=True)
 
-    injector = FaultInjector.from_strings(args.faults or [])
     policy = RecoveryPolicy(
         checkpoint_every=args.checkpoint_every or 10,
         checkpoint_dir=args.checkpoint_dir,
@@ -417,9 +476,7 @@ def _run_engine_faults(args) -> int:
         mass_drift_limit=args.mass_drift_limit,
         max_rollbacks=args.rollbacks,
     )
-    with MpdataIslandSolver(
-        shape, max_retries=args.retries, fault_injector=injector, **common
-    ) as solver:
+    with MpdataIslandSolver(shape, args.islands, config=config) as solver:
         try:
             final = solver.run(state, args.steps, recovery=policy)
         except UnrecoverableRunError as error:
@@ -436,7 +493,8 @@ def _run_engine_faults(args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.command == "show":
         return _run_show(args.program, args.iord, args.no_fct)
     if args.command == "export":
@@ -454,6 +512,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         _run_recommend(args.processors, args.shape, args.steps)
         return 0
     if args.command == "engine":
+        _validate_engine_args(parser, args)
         if (
             args.faults is not None
             or args.checkpoint_every is not None
@@ -462,10 +521,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_engine_faults(args)
         if args.tiled or args.autotune_blocks:
             return _run_engine_tiled(args)
-        return _run_engine(
-            args.shape, args.steps, args.islands, args.threads,
-            args.compiled, args.json,
-        )
+        return _run_engine(args)
     _run_tables(args.command)
     return 0
 

@@ -7,13 +7,34 @@ It also answers *what happens when a step fails*: deterministic fault
 injection (:mod:`repro.runtime.faults`), per-island retry inside the
 runner, and checkpointed rollback-and-replay
 (:mod:`repro.runtime.recovery`).
+
+The runtime is layered: execution backends
+(:mod:`repro.runtime.backends`) own per-island compute resources behind a
+uniform lifecycle, the resilience layer
+(:mod:`repro.runtime.resilience`) wraps any backend with injection /
+retry / backoff, the telemetry spine (:mod:`repro.runtime.telemetry`)
+records structured per-step events into pluggable sinks, and one frozen
+:class:`~repro.runtime.config.EngineConfig` selects all of it.
 """
 
+from .backends import (
+    BACKENDS,
+    CompiledBackend,
+    FlatInterpreterBackend,
+    IslandBackend,
+    IslandResult,
+    TiledBackend,
+    create_backend,
+)
+from .config import (
+    BACKEND_KEYS,
+    EngineConfig,
+    resolve_engine_config,
+)
 from .diagnostics import (
     RunHistory,
     RunRecorder,
     StepDiagnostics,
-    StepTimings,
     check_step_health,
 )
 from .faults import (
@@ -25,10 +46,8 @@ from .faults import (
     parse_fault_spec,
 )
 from .island_exec import (
-    IslandFailure,
     MpdataIslandSolver,
     PartitionedRunner,
-    StepStats,
 )
 from .recovery import (
     NumericalHealthError,
@@ -37,39 +56,72 @@ from .recovery import (
     UnrecoverableRunError,
     run_with_recovery,
 )
+from .resilience import (
+    IslandFailure,
+    ResiliencePolicy,
+    ResilientExecutor,
+)
 from .steady import (
     SteadyStateReport,
     TiledEngineReport,
     measure_steady_state,
     measure_tiled_engine,
 )
+from .telemetry import (
+    InMemorySink,
+    JsonlSink,
+    StepEvent,
+    StepStats,
+    StepTimings,
+    TableSink,
+    Telemetry,
+    TelemetrySink,
+)
 from .verify import VerificationResult, verify_islands, verify_variants
 
 __all__ = [
+    "BACKEND_KEYS",
+    "BACKENDS",
+    "CompiledBackend",
+    "EngineConfig",
     "FAULT_KINDS",
     "FaultInjector",
     "FaultSpec",
     "FaultStats",
+    "FlatInterpreterBackend",
+    "InMemorySink",
     "InjectedFault",
+    "IslandBackend",
     "IslandFailure",
+    "IslandResult",
+    "JsonlSink",
     "MpdataIslandSolver",
     "NumericalHealthError",
     "PartitionedRunner",
     "RecoveryPolicy",
     "RecoveryReport",
+    "ResiliencePolicy",
+    "ResilientExecutor",
     "RunHistory",
     "RunRecorder",
     "StepDiagnostics",
+    "StepEvent",
     "StepStats",
     "StepTimings",
     "SteadyStateReport",
+    "TableSink",
+    "Telemetry",
+    "TelemetrySink",
+    "TiledBackend",
     "TiledEngineReport",
     "UnrecoverableRunError",
     "VerificationResult",
     "check_step_health",
+    "create_backend",
     "measure_steady_state",
     "measure_tiled_engine",
     "parse_fault_spec",
+    "resolve_engine_config",
     "run_with_recovery",
     "verify_islands",
     "verify_variants",

@@ -1,0 +1,388 @@
+"""Pluggable island execution backends.
+
+The paper's unit of execution is the island: every backend here computes
+one island's part of one time step — all program stages over the part
+plus its redundant halo — from the runner's ghost-extended inputs into
+the shared output array.  What varies is *how* the sweep runs:
+
+``interpreter`` (:class:`FlatInterpreterBackend`)
+    Walk the stage graph per island with :func:`~repro.stencil
+    .interpreter.execute_plan`, on persistent stage/scratch arenas in
+    steady-state mode.
+``compiled`` (:class:`CompiledBackend`)
+    One straight-line NumPy step per island
+    (:func:`~repro.stencil.codegen.compile_plan`) with a persistent
+    workspace.
+``tiled`` (:class:`TiledBackend`)
+    The (3+1)D backend: each island's part is covered by cache-sized
+    blocks, each with its own compiled step and sized workspace
+    (:func:`~repro.stencil.tiled_exec.compile_plan_tiled`), optionally
+    swept by an intra-island thread team.
+
+All three produce bit-identical results — every backend evaluates the
+identical expressions on identical inputs — so the registry key in
+:class:`~repro.runtime.config.EngineConfig` is purely a performance and
+deployment choice.  Backends own their per-island resources (arenas,
+workspaces, block plans) behind a uniform lifecycle: :meth:`prepare`
+builds them, :meth:`execute_island` uses them, :meth:`refresh` replaces
+one island's after a failed attempt, :meth:`close` releases them.
+Backends know nothing about retries, faults or telemetry — that is the
+resilience layer's job (:mod:`repro.runtime.resilience`) — and they
+never read clocks: wall-time attribution happens around them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar, Dict, Mapping, Optional, Tuple, Type
+
+import numpy as np
+
+from ..core import IslandDecomposition
+from ..stencil import execute_plan
+from ..stencil.expr import EvalArena
+from ..stencil.interpreter import ArrayRegion, StageArena
+from ..stencil.program import StencilProgram
+from ..stencil.region import Box
+from .config import EngineConfig
+
+__all__ = [
+    "BACKENDS",
+    "CompiledBackend",
+    "FlatInterpreterBackend",
+    "IslandBackend",
+    "IslandResult",
+    "TiledBackend",
+    "create_backend",
+    "stage_delta",
+]
+
+
+def stage_delta(
+    after: Optional[Dict[str, float]],
+    before: Optional[Dict[str, float]],
+) -> Optional[Dict[str, float]]:
+    """Per-stage seconds of one sweep, from cumulative stage counters.
+
+    Compiled plans accumulate ``stage_seconds`` across calls, so a single
+    step's attribution is the difference of two snapshots.
+    """
+    if after is None:
+        return None
+    if not before:
+        return dict(after)
+    return {
+        name: seconds - before.get(name, 0.0) for name, seconds in after.items()
+    }
+
+
+@dataclass
+class IslandResult:
+    """What one successful island sweep reported.
+
+    ``seconds`` is filled by the caller that timed the sweep (the
+    resilience layer), not by the backend; ``block_seconds`` and
+    ``stage_seconds`` are only populated by timing-enabled backends.
+    """
+
+    stage_allocations: int = 0
+    scratch_allocations: int = 0
+    reused: int = 0
+    seconds: float = 0.0
+    block_seconds: Tuple[float, ...] = ()
+    stage_seconds: Optional[Dict[str, float]] = field(default=None)
+
+
+class IslandBackend:
+    """Base class: per-island resources behind a uniform lifecycle.
+
+    Concrete backends register under :attr:`key` in :data:`BACKENDS` and
+    are constructed via :meth:`from_config` /
+    :func:`create_backend`.  ``plans`` maps island index to the backend's
+    per-island execution object where one exists (compiled and tiled
+    backends); the interpreter keeps arenas instead.
+    """
+
+    key: ClassVar[str]
+
+    def __init__(
+        self,
+        program: StencilProgram,
+        decomposition: IslandDecomposition,
+        *,
+        clip_domain: Box,
+        output_field: str,
+        dtype: np.dtype,
+        reuse_buffers: bool,
+        timed: bool,
+    ) -> None:
+        self.program = program
+        self.decomposition = decomposition
+        self.clip_domain = clip_domain
+        self.output_field = output_field
+        self.dtype = np.dtype(dtype)
+        self.reuse_buffers = reuse_buffers
+        self.timed = timed
+        self.plans: Dict[int, object] = {}
+
+    @classmethod
+    def from_config(
+        cls,
+        config: EngineConfig,
+        program: StencilProgram,
+        decomposition: IslandDecomposition,
+        *,
+        clip_domain: Box,
+        output_field: str,
+    ) -> "IslandBackend":
+        return cls(
+            program,
+            decomposition,
+            clip_domain=clip_domain,
+            output_field=output_field,
+            dtype=config.numpy_dtype,
+            reuse_buffers=config.reuse_buffers,
+            timed=config.collect_timings,
+        )
+
+    # -- lifecycle ------------------------------------------------------
+    def prepare(self) -> None:
+        """Build every island's persistent resources (called once)."""
+        raise NotImplementedError
+
+    def execute_island(
+        self,
+        island,
+        inputs: Mapping[str, ArrayRegion],
+        out: np.ndarray,
+    ) -> IslandResult:
+        """Compute one island's part into ``out``; report its traffic."""
+        raise NotImplementedError
+
+    def refresh(self, island_index: int) -> None:
+        """Replace one island's persistent compute state before a retry.
+
+        A sweep that died mid-execution leaves arena liveness bookkeeping
+        or workspace bindings indeterminate, so the retry starts from
+        fresh storage.  Only the failed island pays — its neighbours keep
+        their warm buffers, exactly the isolation the islands approach
+        buys.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend-owned resources (idempotent; default: none)."""
+
+
+class FlatInterpreterBackend(IslandBackend):
+    """Walk the stage graph per island (the reference execution path)."""
+
+    key = "interpreter"
+
+    def prepare(self) -> None:
+        self._arenas: Dict[int, StageArena] = {}
+        self._scratch: Dict[int, EvalArena] = {}
+        if self.reuse_buffers:
+            for island in self.decomposition.islands:
+                self._arenas[island.index] = StageArena(self.dtype)
+                self._scratch[island.index] = EvalArena(self.dtype)
+
+    def execute_island(self, island, inputs, out) -> IslandResult:
+        results, stats = execute_plan(
+            self.program,
+            island.halo_plan,
+            inputs,
+            dtype=self.dtype,
+            arena=self._arenas.get(island.index),
+            scratch=self._scratch.get(island.index),
+            collect_timing=self.timed,
+        )
+        out[island.part.slices()] = results[self.output_field].view(island.part)
+        return IslandResult(
+            stage_allocations=stats.allocations,
+            scratch_allocations=stats.scratch_allocations,
+            reused=stats.reused_buffers + stats.scratch_reused,
+            stage_seconds=stats.stage_seconds if self.timed else None,
+        )
+
+    def refresh(self, island_index: int) -> None:
+        if self.reuse_buffers:
+            self._arenas[island_index] = StageArena(self.dtype)
+            self._scratch[island_index] = EvalArena(self.dtype)
+
+
+class CompiledBackend(IslandBackend):
+    """One straight-line compiled step per island, persistent workspace."""
+
+    key = "compiled"
+
+    def prepare(self) -> None:
+        from ..stencil import compile_plan
+
+        self.plans = {
+            island.index: compile_plan(
+                self.program,
+                island.halo_plan,
+                dtype=self.dtype,
+                reuse_buffers=self.reuse_buffers,
+                timed=self.timed,
+            )
+            for island in self.decomposition.islands
+        }
+
+    def execute_island(self, island, inputs, out) -> IslandResult:
+        compiled = self.plans[island.index]
+        workspace = compiled.workspace
+        before = (
+            (workspace.allocations, workspace.reuses)
+            if workspace is not None
+            else (0, 0)
+        )
+        stage_before = compiled.stage_seconds if self.timed else None
+        results = compiled(inputs)
+        workspace = compiled.last_workspace
+        result = IslandResult(
+            stage_allocations=workspace.allocations - before[0],
+            reused=workspace.reuses - before[1],
+        )
+        out[island.part.slices()] = results[self.output_field].view(island.part)
+        if self.timed:
+            result.stage_seconds = stage_delta(
+                compiled.stage_seconds, stage_before
+            )
+        return result
+
+    def refresh(self, island_index: int) -> None:
+        compiled = self.plans[island_index]
+        if compiled.persistent:
+            compiled.persistent = True  # installs a fresh Workspace
+
+
+class TiledBackend(IslandBackend):
+    """Cache-blocked (3+1)D sweep of each island, per-block compiled steps."""
+
+    key = "tiled"
+
+    def __init__(
+        self,
+        program: StencilProgram,
+        decomposition: IslandDecomposition,
+        *,
+        clip_domain: Box,
+        output_field: str,
+        dtype: np.dtype,
+        reuse_buffers: bool,
+        timed: bool,
+        block_shape: Tuple[int, int, int],
+        intra_threads: int = 1,
+    ) -> None:
+        super().__init__(
+            program,
+            decomposition,
+            clip_domain=clip_domain,
+            output_field=output_field,
+            dtype=dtype,
+            reuse_buffers=reuse_buffers,
+            timed=timed,
+        )
+        self.block_shape = tuple(block_shape)
+        self.intra_threads = max(1, intra_threads)
+
+    @classmethod
+    def from_config(
+        cls,
+        config: EngineConfig,
+        program: StencilProgram,
+        decomposition: IslandDecomposition,
+        *,
+        clip_domain: Box,
+        output_field: str,
+    ) -> "TiledBackend":
+        if config.block_shape is None:  # EngineConfig already enforces this
+            raise ValueError("the tiled backend requires block_shape")
+        return cls(
+            program,
+            decomposition,
+            clip_domain=clip_domain,
+            output_field=output_field,
+            dtype=config.numpy_dtype,
+            reuse_buffers=config.reuse_buffers,
+            timed=config.collect_timings,
+            block_shape=config.block_shape,
+            intra_threads=config.intra_threads,
+        )
+
+    def prepare(self) -> None:
+        from ..stencil.tiled_exec import compile_plan_tiled
+        from ..stencil.tiling import plan_blocks_exact
+
+        self.plans = {
+            island.index: compile_plan_tiled(
+                self.program,
+                island.halo_plan,
+                plan_blocks_exact(self.program, island.part, self.block_shape),
+                clip_domain=self.clip_domain,
+                dtype=self.dtype,
+                reuse_buffers=self.reuse_buffers,
+                intra_threads=self.intra_threads,
+                timed=self.timed,
+            )
+            for island in self.decomposition.islands
+        }
+
+    def execute_island(self, island, inputs, out) -> IslandResult:
+        tiled = self.plans[island.index]
+        before = tiled.counters()
+        stage_before = tiled.stage_seconds if self.timed else None
+        tiled.execute(inputs, out)
+        after = tiled.counters()
+        result = IslandResult(
+            stage_allocations=after[0] - before[0],
+            reused=after[1] - before[1],
+        )
+        if self.timed:
+            result.block_seconds = tiled.last_block_seconds or ()
+            result.stage_seconds = stage_delta(
+                tiled.stage_seconds, stage_before
+            )
+        return result
+
+    def refresh(self, island_index: int) -> None:
+        self.plans[island_index].refresh_workspaces()
+
+    def close(self) -> None:
+        for plan in self.plans.values():
+            plan.close()
+
+
+BACKENDS: Dict[str, Type[IslandBackend]] = {
+    backend.key: backend
+    for backend in (FlatInterpreterBackend, CompiledBackend, TiledBackend)
+}
+
+
+def create_backend(
+    config: EngineConfig,
+    program: StencilProgram,
+    decomposition: IslandDecomposition,
+    *,
+    clip_domain: Box,
+    output_field: str,
+) -> IslandBackend:
+    """Instantiate and prepare the backend ``config.backend`` names."""
+    try:
+        backend_cls = BACKENDS[config.backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {config.backend!r}; known: "
+            f"{', '.join(sorted(BACKENDS))}"
+        ) from None
+    backend = backend_cls.from_config(
+        config,
+        program,
+        decomposition,
+        clip_domain=clip_domain,
+        output_field=output_field,
+    )
+    backend.prepare()
+    return backend

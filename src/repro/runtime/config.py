@@ -1,0 +1,340 @@
+"""One engine configuration for the whole partitioned runtime.
+
+Three feature axes grew onto the runner in successive steps — backend
+selection (interpreter / compiled / tiled, with an optional intra-island
+team), resilience policy (retry budget, backoff, injected faults) and
+observability (buffer reuse accounting, timing collection) — and each
+grew its own copy of the kwarg list: once on
+:class:`~repro.runtime.island_exec.PartitionedRunner`, once on
+:class:`~repro.runtime.island_exec.MpdataIslandSolver`, and once more as
+CLI flags.  :class:`EngineConfig` is the single source of truth those
+three copies collapse into: a frozen, validated, JSON-round-trippable
+value describing *how* to execute — the problem itself (program, shape,
+islands, variant, partition) stays a constructor argument, because a
+config that names a grid is a job, not a configuration.
+
+The old keyword arguments remain accepted for one release through
+:func:`resolve_engine_config`, which converts them to an
+:class:`EngineConfig` and emits a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..mpdata.boundary import BOUNDARY_MODES
+from .faults import FaultInjector, parse_fault_spec
+
+__all__ = [
+    "BACKEND_KEYS",
+    "LEGACY_ENGINE_KWARGS",
+    "EngineConfig",
+    "resolve_engine_config",
+]
+
+#: Registry keys of the execution backends (see :mod:`repro.runtime.backends`).
+BACKEND_KEYS = ("interpreter", "compiled", "tiled")
+
+#: Constructor keywords the one-release deprecation shim still accepts.
+LEGACY_ENGINE_KWARGS = (
+    "boundary",
+    "threads",
+    "dtype",
+    "compiled",
+    "reuse_buffers",
+    "reuse_output",
+    "max_retries",
+    "retry_backoff",
+    "block_shape",
+    "intra_threads",
+    "collect_timings",
+)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """How the partitioned runtime executes one island decomposition.
+
+    Parameters
+    ----------
+    backend:
+        Registry key of the execution backend: ``"interpreter"`` (stage
+        graph walked per island), ``"compiled"`` (straight-line NumPy per
+        island) or ``"tiled"`` (per-block compiled steps, cache-resident
+        (3+1)D sweep; requires ``block_shape``).
+    boundary:
+        Ghost-fill mode for all inputs (``"periodic"`` or ``"open"``).
+    threads:
+        Island-level work team: islands execute concurrently when > 1.
+    dtype:
+        Element type, stored as a NumPy dtype *name* so the config
+        round-trips through JSON; see :attr:`numpy_dtype`.
+    reuse_buffers:
+        Steady-state mode (default): ghost buffers, arenas and workspaces
+        persist across steps.  ``False`` re-allocates everything per step
+        (the naive mode), bit-identically.
+    reuse_output:
+        Recycle the assembled output array across steps.
+    block_shape:
+        Nominal (3+1)D block extents; tiled backend only.
+    intra_threads:
+        Intra-island thread team sweeping each island's block list;
+        tiled backend only.
+    max_retries, retry_backoff:
+        Resilience policy: per-island retry budget within one step, and
+        the base sleep before retry N (grows as ``backoff * 2**(N-1)``).
+    fault_specs:
+        Deterministic fault injection sites as
+        :func:`~repro.runtime.faults.parse_fault_spec` strings — the
+        JSON-safe form of a :class:`~repro.runtime.faults.FaultInjector`
+        (see :meth:`build_fault_injector`).
+    collect_timings:
+        Record per-island / per-block / per-stage wall times into each
+        step's :class:`~repro.runtime.telemetry.StepTimings`.
+    """
+
+    backend: str = "interpreter"
+    boundary: str = "periodic"
+    threads: int = 1
+    dtype: str = "float64"
+    reuse_buffers: bool = True
+    reuse_output: bool = False
+    block_shape: Optional[Tuple[int, int, int]] = None
+    intra_threads: int = 1
+    max_retries: int = 0
+    retry_backoff: float = 0.0
+    fault_specs: Tuple[str, ...] = ()
+    collect_timings: bool = False
+
+    def __post_init__(self) -> None:
+        # Normalize (object.__setattr__: the dataclass is frozen) so two
+        # configs built from e.g. np.float64 and "float64" compare equal.
+        object.__setattr__(self, "dtype", str(np.dtype(self.dtype)))
+        object.__setattr__(self, "threads", max(1, int(self.threads)))
+        object.__setattr__(
+            self, "intra_threads", max(1, int(self.intra_threads))
+        )
+        if self.block_shape is not None:
+            object.__setattr__(
+                self, "block_shape", tuple(int(b) for b in self.block_shape)
+            )
+        object.__setattr__(self, "fault_specs", tuple(self.fault_specs))
+        if self.backend not in BACKEND_KEYS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; known: "
+                f"{', '.join(BACKEND_KEYS)}"
+            )
+        if self.boundary not in BOUNDARY_MODES:
+            raise ValueError(
+                f"unknown boundary mode {self.boundary!r}; known: "
+                f"{', '.join(BOUNDARY_MODES)}"
+            )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
+        if self.intra_threads > 1 and self.backend != "tiled":
+            raise ValueError(
+                "intra_threads teams sweep (3+1)D blocks; pass block_shape"
+            )
+        if self.backend == "tiled":
+            if self.block_shape is None:
+                raise ValueError(
+                    "the tiled backend requires block_shape"
+                )
+            if len(self.block_shape) != 3:
+                raise ValueError(
+                    f"block_shape must have 3 extents, got {self.block_shape}"
+                )
+            if any(b < 1 for b in self.block_shape):
+                raise ValueError(
+                    f"block_shape extents must be positive, got "
+                    f"{self.block_shape}"
+                )
+        elif self.block_shape is not None:
+            raise ValueError(
+                f"block_shape is a tiled-backend option; got "
+                f"backend={self.backend!r}"
+            )
+        for spec in self.fault_specs:
+            parse_fault_spec(spec)  # raises ValueError on a malformed spec
+
+    # ------------------------------------------------------------------
+    # Derived values
+    # ------------------------------------------------------------------
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype(self.dtype)
+
+    def build_fault_injector(self) -> Optional[FaultInjector]:
+        """A fresh injector for :attr:`fault_specs` (``None`` if empty)."""
+        if not self.fault_specs:
+            return None
+        return FaultInjector.from_strings(self.fault_specs)
+
+    # ------------------------------------------------------------------
+    # Round-trips
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict; ``from_dict`` restores an equal config."""
+        return {
+            "backend": self.backend,
+            "boundary": self.boundary,
+            "threads": self.threads,
+            "dtype": self.dtype,
+            "reuse_buffers": self.reuse_buffers,
+            "reuse_output": self.reuse_output,
+            "block_shape": (
+                list(self.block_shape) if self.block_shape is not None else None
+            ),
+            "intra_threads": self.intra_threads,
+            "max_retries": self.max_retries,
+            "retry_backoff": self.retry_backoff,
+            "fault_specs": list(self.fault_specs),
+            "collect_timings": self.collect_timings,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EngineConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown EngineConfig key(s) {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        values = dict(data)
+        if values.get("block_shape") is not None:
+            values["block_shape"] = tuple(values["block_shape"])
+        if "fault_specs" in values:
+            values["fault_specs"] = tuple(values["fault_specs"])
+        return cls(**values)
+
+    @classmethod
+    def from_cli_args(
+        cls,
+        args: Any,
+        block_shape: Optional[Tuple[int, int, int]] = None,
+    ) -> "EngineConfig":
+        """Build the engine configuration for ``python -m repro engine``.
+
+        Reads the flags of the ``engine`` subcommand off the parsed
+        namespace.  ``block_shape`` overrides ``--block-shape`` (the
+        autotuner passes its winning shape here); with the tiled backend
+        requested but no shape given, the working-set cost model picks
+        one for ``--block-cache-kib``, mirroring the measurement harness.
+        The CLI always drives the steady-state engine, so both reuse
+        flags are on — the naive mode is derived by the harness, not
+        configured here.
+        """
+        if block_shape is None:
+            block_shape = getattr(args, "block_shape", None)
+        tiled = bool(
+            getattr(args, "tiled", False)
+            or getattr(args, "autotune_blocks", False)
+            or block_shape is not None
+        )
+        if tiled and block_shape is None:
+            from ..mpdata.stages import mpdata_program
+            from ..stencil.region import Box
+            from ..stencil.tiling import plan_blocks
+
+            block_shape = plan_blocks(
+                mpdata_program(),
+                Box((0, 0, 0), tuple(args.shape)),
+                getattr(args, "block_cache_kib", 2048) * 1024,
+            ).block_shape
+        # Fault tolerance engages only when a fault flag was given, so a
+        # plain steady run keeps the retry budget at zero even though
+        # --retries carries a non-zero default.
+        faulty = (
+            getattr(args, "faults", None) is not None
+            or getattr(args, "checkpoint_every", None) is not None
+            or getattr(args, "checkpoint_dir", None) is not None
+        )
+        return cls(
+            backend=(
+                "tiled"
+                if tiled
+                else "compiled"
+                if getattr(args, "compiled", False)
+                else "interpreter"
+            ),
+            threads=getattr(args, "threads", 1),
+            reuse_buffers=True,
+            reuse_output=True,
+            block_shape=tuple(block_shape) if tiled else None,
+            intra_threads=getattr(args, "intra_threads", 1) if tiled else 1,
+            max_retries=getattr(args, "retries", 0) if faulty else 0,
+            fault_specs=tuple(getattr(args, "faults", None) or ()),
+            collect_timings=getattr(args, "timings", False),
+        )
+
+    @classmethod
+    def from_legacy_kwargs(cls, **kwargs: Any) -> "EngineConfig":
+        """Convert the pre-config constructor keywords.
+
+        ``block_shape`` selects the tiled backend and takes precedence
+        over ``compiled=True``, exactly as the old constructor resolved
+        the same combination.
+        """
+        unknown = set(kwargs) - set(LEGACY_ENGINE_KWARGS)
+        if unknown:
+            raise TypeError(
+                f"unexpected keyword argument(s): {', '.join(sorted(unknown))}"
+            )
+        compiled = bool(kwargs.pop("compiled", False))
+        block_shape = kwargs.pop("block_shape", None)
+        if block_shape is not None:
+            backend = "tiled"
+            block_shape = tuple(block_shape)
+        elif compiled:
+            backend = "compiled"
+        else:
+            backend = "interpreter"
+        return cls(backend=backend, block_shape=block_shape, **kwargs)
+
+
+def resolve_engine_config(
+    config: Optional[EngineConfig],
+    legacy: Mapping[str, Any],
+    owner: str,
+) -> EngineConfig:
+    """The constructor-side half of the deprecation shim.
+
+    Exactly one source may describe the engine: ``config=`` or the old
+    keyword arguments (which warn and are converted).  Mixing them is an
+    error rather than a merge — a silent precedence rule is how configs
+    drift apart.
+    """
+    if config is not None:
+        if legacy:
+            raise TypeError(
+                f"{owner}: pass either config= or legacy engine keywords, "
+                f"not both (got {sorted(legacy)})"
+            )
+        if not isinstance(config, EngineConfig):
+            raise TypeError(
+                f"{owner}: config must be an EngineConfig, got "
+                f"{type(config).__name__}"
+            )
+        return config
+    if not legacy:
+        return EngineConfig()
+    unknown = set(legacy) - set(LEGACY_ENGINE_KWARGS)
+    if unknown:
+        raise TypeError(
+            f"{owner} got unexpected keyword argument(s): "
+            f"{', '.join(sorted(unknown))}"
+        )
+    warnings.warn(
+        f"{owner}: engine keyword arguments {sorted(legacy)} are "
+        "deprecated; pass config=EngineConfig(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return EngineConfig.from_legacy_kwargs(**legacy)

@@ -10,16 +10,17 @@ way).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Protocol, Tuple
+from dataclasses import dataclass
+from typing import List, Protocol, Tuple
 
 import numpy as np
 
 from ..mpdata.reference import MpdataState
+from .telemetry import StepTimings
 
 __all__ = [
     "StepDiagnostics",
-    "StepTimings",
+    "StepTimings",  # moved to repro.runtime.telemetry; re-exported here
     "RunHistory",
     "RunRecorder",
     "check_step_health",
@@ -39,89 +40,6 @@ class StepDiagnostics:
     minimum: float
     maximum: float
     variance: float
-
-
-@dataclass(frozen=True)
-class StepTimings:
-    """Where one partitioned step's wall time went.
-
-    Collected by :class:`~repro.runtime.island_exec.PartitionedRunner`
-    when ``collect_timings`` is set, and the evidence that makes a
-    flat-vs-tiled comparison attributable: *which* stages got cheaper,
-    and how the block sweep inside each island spent its time.
-
-    Attributes
-    ----------
-    island_seconds:
-        Compute wall time of each island's sweep this step (faults and
-        retries excluded).  The maximum is the step's parallel critical
-        path; the sum is the serialized compute.
-    block_seconds:
-        Per island, the per-block sweep times (empty tuples for flat
-        execution, where an island is one undivided sweep).
-    stage_seconds:
-        Wall seconds per stage name, summed over islands and blocks.
-        Available from the compiled engines (timed codegen) and the
-        interpreter; empty when the backend cannot attribute stages.
-    """
-
-    island_seconds: Tuple[float, ...]
-    block_seconds: Tuple[Tuple[float, ...], ...] = ()
-    stage_seconds: Dict[str, float] = field(default_factory=dict)
-
-    @property
-    def critical_path_seconds(self) -> float:
-        """Slowest island — what a perfectly parallel step would take."""
-        return max(self.island_seconds, default=0.0)
-
-    @property
-    def total_compute_seconds(self) -> float:
-        """Sum of all island sweeps — the serialized compute time."""
-        return sum(self.island_seconds)
-
-    @property
-    def blocks_swept(self) -> int:
-        return sum(len(times) for times in self.block_seconds)
-
-    def top_stages(self, count: int = 5) -> Tuple[Tuple[str, float], ...]:
-        """The ``count`` most expensive stages, descending."""
-        ranked = sorted(
-            self.stage_seconds.items(), key=lambda item: item[1], reverse=True
-        )
-        return tuple(ranked[:count])
-
-    def render(self, top: int = 5) -> str:
-        """Human-readable breakdown for the engine CLI report."""
-        lines = [
-            f"islands: critical path {self.critical_path_seconds * 1e3:.2f} ms, "
-            f"total compute {self.total_compute_seconds * 1e3:.2f} ms "
-            f"({len(self.island_seconds)} islands"
-            + (
-                f", {self.blocks_swept} blocks swept)"
-                if self.blocks_swept
-                else ")"
-            )
-        ]
-        for index, seconds in enumerate(self.island_seconds):
-            blocks = (
-                self.block_seconds[index]
-                if index < len(self.block_seconds)
-                else ()
-            )
-            detail = ""
-            if blocks:
-                detail = (
-                    f"  [{len(blocks)} blocks, "
-                    f"max {max(blocks) * 1e3:.2f} ms]"
-                )
-            lines.append(
-                f"  island {index}: {seconds * 1e3:8.2f} ms{detail}"
-            )
-        if self.stage_seconds:
-            lines.append(f"top stages (of {len(self.stage_seconds)}):")
-            for name, seconds in self.top_stages(top):
-                lines.append(f"  {name:<24} {seconds * 1e3:8.2f} ms")
-        return "\n".join(lines)
 
 
 @dataclass(frozen=True)

@@ -8,23 +8,40 @@ identical expressions on identical inputs, a partitioned step must agree
 with the whole-domain step to the last bit, which :mod:`repro.runtime.verify`
 checks.
 
-The runner is a **steady-state execution engine**: resources that the
-paper's per-step overhead analysis says must not be paid every iteration —
-the work-team (thread pool), ghost-extended input buffers, stage storage,
-ufunc scratch — are created once and recycled across time steps.  With
-``reuse_buffers`` (default) and ``reuse_output`` enabled, a warmed-up
+The runner is a thin composition of four explicit layers:
+
+* a **backend** (:mod:`repro.runtime.backends`) owning the per-island
+  compute resources — interpreter arenas, compiled workspaces, or tiled
+  block plans — behind one ``prepare``/``execute_island``/``refresh``
+  lifecycle;
+* a **resilience** layer (:mod:`repro.runtime.resilience`) wrapping every
+  island sweep with fault injection, bounded retry and backoff;
+* a **telemetry** spine (:mod:`repro.runtime.telemetry`) that can record
+  each successful step as a structured event into pluggable sinks;
+* one frozen **configuration** (:class:`~repro.runtime.config
+  .EngineConfig`) selecting all of the above.
+
+What stays in the runner is exactly what no layer can own alone: the
+ghost-extended input buffers shared by all islands, the assembled output
+array, the island-level work team (thread pool) with its degradation
+path, and step-level invariants — a failed step is never observable as a
+successful one.
+
+The runner remains a **steady-state execution engine**: resources that
+the paper's per-step overhead analysis says must not be paid every
+iteration — the work-team, ghost buffers, stage storage, ufunc scratch —
+are created once and recycled across time steps.  With ``reuse_buffers``
+(default) and ``reuse_output`` enabled, a warmed-up
 :meth:`PartitionedRunner.step` performs **zero** array allocations; the
-naive behaviour (fresh everything per step) remains available with
-``reuse_buffers=False`` and is bit-identical, which
-:mod:`repro.runtime.verify` exercises.  Per-step counters are reported via
-:class:`StepStats`.
+naive behaviour (fresh everything per step) remains available and is
+bit-identical.  Per-step counters are reported via :class:`StepStats`.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import replace
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
@@ -34,16 +51,17 @@ from ..mpdata.boundary import extend_array, extend_array_into, extended_box
 from ..mpdata.reference import MpdataState
 from ..mpdata.solver import GhostSpec
 from ..mpdata.stages import FIELD_DENSITY, FIELD_X, mpdata_program
-from ..stencil import ArrayRegion, Box, StencilProgram, execute_plan, full_box
-from ..stencil.expr import EvalArena
-from ..stencil.interpreter import StageArena
-from .diagnostics import StepTimings
-from .faults import (
-    FaultInjector,
-    FaultStats,
-    apply_post_faults,
-    apply_pre_faults,
+from ..stencil import ArrayRegion, Box, StencilProgram, full_box
+from .backends import (
+    CompiledBackend,
+    IslandResult,
+    TiledBackend,
+    create_backend,
 )
+from .config import EngineConfig, resolve_engine_config
+from .faults import FaultInjector, FaultStats
+from .resilience import IslandFailure, ResiliencePolicy, ResilientExecutor
+from .telemetry import StepEvent, StepStats, StepTimings, Telemetry
 
 __all__ = [
     "IslandFailure",
@@ -51,49 +69,6 @@ __all__ = [
     "MpdataIslandSolver",
     "StepStats",
 ]
-
-
-class IslandFailure(RuntimeError):
-    """An island task failed after exhausting its retry budget.
-
-    The step it belonged to did **not** complete: the runner's persistent
-    output buffer has been invalidated (filled with NaN and dropped from
-    reuse) and ``last_step_stats`` reset to ``None``, so no caller can
-    mistake the partial step for a successful one.
-    """
-
-    def __init__(self, island: int, step: int, attempts: int, cause: BaseException) -> None:
-        super().__init__(
-            f"island {island} failed at step {step} after {attempts} "
-            f"attempt(s): {cause!r}"
-        )
-        self.island = island
-        self.step = step
-        self.attempts = attempts
-
-
-@dataclass(frozen=True)
-class StepStats:
-    """Array traffic of one :meth:`PartitionedRunner.step` call.
-
-    ``allocations`` counts every fresh NumPy array the step created
-    (ghost-extended inputs, the assembled output, per-island stage storage
-    and ufunc scratch); ``reused`` counts buffer-pool hits.  A warmed-up
-    steady-state step reports ``allocations == 0``.
-
-    ``timings`` (populated when the runner was built with
-    ``collect_timings``) attributes the step's wall time: per-island sweep
-    times, per-block times inside tiled islands, and per-stage seconds —
-    see :class:`~repro.runtime.diagnostics.StepTimings`.
-    """
-
-    allocations: int
-    reused: int
-    ghost_allocations: int = 0
-    output_allocations: int = 0
-    stage_allocations: int = 0
-    scratch_allocations: int = 0
-    timings: Optional[StepTimings] = None
 
 
 class PartitionedRunner:
@@ -107,63 +82,30 @@ class PartitionedRunner:
         Physical grid shape.
     islands, variant, partition:
         Partitioning, as in :func:`repro.core.decompose`.
-    boundary:
-        Ghost-fill mode for all inputs (``"periodic"`` or ``"open"``).
-    threads:
-        When > 1, islands execute concurrently on a long-lived thread
-        pool — the work-team abstraction made literal (NumPy kernels
-        release the GIL).  The pool is created on first use and lives
-        until :meth:`close` (the runner is also a context manager).
-    reuse_buffers:
-        Steady-state mode (default): ghost-extended input buffers are
-        allocated once and refilled in place each step, and every island
-        keeps a persistent stage-storage arena and ufunc-scratch arena
-        (interpreted) or compiled workspace (``compiled=True``) across
-        steps.  Bit-identical to ``False``, which re-allocates everything
-        per step (the pre-engine behaviour).
-    reuse_output:
-        Also recycle the assembled output array: every step returns the
-        *same* ndarray, overwritten in place.  Off by default because
-        callers holding results from two different steps would see the
-        second overwrite the first; the MPDATA drivers and benchmarks
-        enable it for allocation-free stepping.
-    max_retries:
-        Per-island retry budget within one step.  Islands recompute
-        their transitive halo instead of communicating, so a failed
-        island task is simply re-executed in place — on a fresh arena,
-        because a mid-flight exception leaves the old arena's liveness
-        bookkeeping indeterminate — without touching its neighbours.
-        A step raises :class:`IslandFailure` only once an island has
-        failed ``1 + max_retries`` times.  ``0`` disables retry.
-    retry_backoff:
-        Base sleep (seconds) before retry attempt N, growing as
-        ``retry_backoff * 2**(N-1)``.  Zero (default) retries
-        immediately — the in-process failure modes retry targets are
-        transient task faults, not contended external resources.
+    config:
+        The :class:`~repro.runtime.config.EngineConfig` selecting the
+        execution backend, buffer reuse, resilience policy and timing
+        collection.  Defaults to ``EngineConfig()`` — the interpreted
+        steady-state engine.
     fault_injector:
         Optional :class:`~repro.runtime.faults.FaultInjector` whose
         crash / slow / corrupt faults are applied inside island tasks,
-        keyed by (step, island).  Testing hook; ``None`` in production.
-        Fault-tolerance activity is counted in :attr:`fault_stats`.
-    block_shape:
-        When given, islands execute **tiled**: each island's part is
-        covered by (3+1)D blocks of this nominal shape and every block
-        runs all program stages back to back on a per-block compiled
-        step with a cache-sized persistent workspace (see
-        :mod:`repro.stencil.tiled_exec`).  Bit-identical to flat
-        execution; steady state still allocates nothing.  A failure in
-        any block invalidates and retries the *whole island step* — the
-        island, not the block, is the retry unit.
-    intra_threads:
-        Size of the intra-island work team sweeping each island's block
-        list (static chunking, no per-stage barrier; the only sync is
-        the end of the island's sweep).  Requires ``block_shape``.
-        Composes with ``threads``: islands in parallel outside,
-        ``intra_threads`` workers per island inside.
-    collect_timings:
-        Record per-island sweep times, per-block times (tiled) and
-        per-stage wall seconds into ``last_step_stats.timings``.  Adds
-        one clock read per stage per island per step.
+        keyed by (step, island).  Testing hook; overrides the injector
+        ``config.fault_specs`` would build.  Fault-tolerance activity is
+        counted in :attr:`fault_stats`.
+    telemetry:
+        Optional :class:`~repro.runtime.telemetry.Telemetry` spine; every
+        successful step is recorded into its sinks as a
+        :class:`~repro.runtime.telemetry.StepEvent`.  Without sinks the
+        runner pays nothing beyond filling :attr:`last_step_stats`.
+    **legacy:
+        The pre-config keyword arguments (``boundary``, ``threads``,
+        ``dtype``, ``compiled``, ``reuse_buffers``, ``reuse_output``,
+        ``max_retries``, ``retry_backoff``, ``block_shape``,
+        ``intra_threads``, ``collect_timings``) are still accepted for
+        one release; they convert to an :class:`EngineConfig` and emit a
+        :class:`DeprecationWarning`.  Mixing them with ``config=`` is an
+        error.
     """
 
     def __init__(
@@ -173,45 +115,39 @@ class PartitionedRunner:
         islands: int = 1,
         variant: Variant = Variant.A,
         partition: Optional[Partition] = None,
-        boundary: str = "periodic",
-        threads: int = 1,
-        dtype: np.dtype = np.float64,
-        compiled: bool = False,
-        reuse_buffers: bool = True,
-        reuse_output: bool = False,
-        max_retries: int = 0,
-        retry_backoff: float = 0.0,
+        config: Optional[EngineConfig] = None,
+        *,
         fault_injector: Optional[FaultInjector] = None,
-        block_shape: Optional[Tuple[int, int, int]] = None,
-        intra_threads: int = 1,
-        collect_timings: bool = False,
+        telemetry: Optional[Telemetry] = None,
+        **legacy: object,
     ) -> None:
         outputs = program.output_fields
         if len(outputs) != 1:
             raise ValueError("PartitionedRunner requires a single-output program")
-        if max_retries < 0:
-            raise ValueError("max_retries must be non-negative")
-        if retry_backoff < 0:
-            raise ValueError("retry_backoff must be non-negative")
-        if intra_threads > 1 and block_shape is None:
-            raise ValueError(
-                "intra_threads teams sweep (3+1)D blocks; pass block_shape"
-            )
+        config = resolve_engine_config(config, legacy, "PartitionedRunner")
+        self.config = config
         self.program = program
         self.shape = tuple(shape)
-        self.boundary = boundary
-        self.threads = max(1, threads)
-        self.dtype = np.dtype(dtype)
         self.output_field = outputs[0].name
-        self.reuse_buffers = reuse_buffers
-        self.reuse_output = reuse_output
-        self.max_retries = max_retries
-        self.retry_backoff = retry_backoff
-        self.fault_injector = fault_injector
+        # Mirrors of the config, kept as plain attributes for the
+        # pre-refactor surface (callers and tests read these directly).
+        self.boundary = config.boundary
+        self.threads = config.threads
+        self.dtype = config.numpy_dtype
+        self.reuse_buffers = config.reuse_buffers
+        self.reuse_output = config.reuse_output
+        self.max_retries = config.max_retries
+        self.retry_backoff = config.retry_backoff
+        self.block_shape = config.block_shape
+        self.intra_threads = config.intra_threads
+        self.collect_timings = config.collect_timings
+        self.fault_injector = (
+            fault_injector
+            if fault_injector is not None
+            else config.build_fault_injector()
+        )
         self.fault_stats = FaultStats()
-        self.block_shape = tuple(block_shape) if block_shape is not None else None
-        self.intra_threads = max(1, intra_threads)
-        self.collect_timings = collect_timings
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._degraded = False  # threaded pool broke; running serial
         self._step_index = 0  # logical step counter for fault keying
 
@@ -226,48 +162,18 @@ class PartitionedRunner:
             clip_domain=self.extended_domain,
             partition=partition,
         )
-        # Tiled backend: per-island block sweeps (always compiled), or
-        # optionally specialize each island's flat step to straight-line
-        # NumPy.  block_shape takes precedence over `compiled`.
-        self._compiled: Optional[Dict[int, object]] = None
-        self._tiled: Optional[Dict[int, object]] = None
-        if self.block_shape is not None:
-            from ..stencil.tiled_exec import compile_plan_tiled
-            from ..stencil.tiling import plan_blocks_exact
-
-            self._tiled = {
-                island.index: compile_plan_tiled(
-                    program,
-                    island.halo_plan,
-                    plan_blocks_exact(program, island.part, self.block_shape),
-                    clip_domain=self.extended_domain,
-                    dtype=dtype,
-                    reuse_buffers=reuse_buffers,
-                    intra_threads=self.intra_threads,
-                    timed=collect_timings,
-                )
-                for island in self.decomposition.islands
-            }
-        elif compiled:
-            from ..stencil import compile_plan
-
-            self._compiled = {
-                island.index: compile_plan(
-                    program,
-                    island.halo_plan,
-                    dtype=dtype,
-                    reuse_buffers=reuse_buffers,
-                    timed=collect_timings,
-                )
-                for island in self.decomposition.islands
-            }
-        # Per-island interpreter arenas (steady-state mode, interpreted).
-        self._arenas: Dict[int, StageArena] = {}
-        self._scratch: Dict[int, EvalArena] = {}
-        if reuse_buffers and not compiled and self._tiled is None:
-            for island in self.decomposition.islands:
-                self._arenas[island.index] = StageArena(self.dtype)
-                self._scratch[island.index] = EvalArena(self.dtype)
+        self.backend = create_backend(
+            config,
+            program,
+            self.decomposition,
+            clip_domain=self.extended_domain,
+            output_field=self.output_field,
+        )
+        self.resilience = ResilientExecutor(
+            self.backend,
+            ResiliencePolicy.from_config(config),
+            self.fault_injector,
+        )
         # Persistent resources, materialized lazily on first use.
         self._ghost: Dict[str, ArrayRegion] = {}
         self._out: Optional[np.ndarray] = None
@@ -276,17 +182,32 @@ class PartitionedRunner:
         self.last_step_stats: Optional[StepStats] = None
 
     # ------------------------------------------------------------------
+    # Pre-refactor surface: the per-island plan dicts of the compiled and
+    # tiled paths, now owned by the backend.
+    # ------------------------------------------------------------------
+    @property
+    def _tiled(self) -> Optional[Dict[int, object]]:
+        if isinstance(self.backend, TiledBackend):
+            return self.backend.plans
+        return None
+
+    @property
+    def _compiled(self) -> Optional[Dict[int, object]]:
+        if isinstance(self.backend, CompiledBackend):
+            return self.backend.plans
+        return None
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut down the persistent thread pools (idempotent)."""
+        """Shut down the persistent pools and telemetry sinks (idempotent)."""
         self._closed = True
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
-        if self._tiled is not None:
-            for tiled in self._tiled.values():
-                tiled.close()
+        self.backend.close()
+        self.telemetry.close()
 
     def __enter__(self) -> "PartitionedRunner":
         return self
@@ -373,26 +294,8 @@ class PartitionedRunner:
         return self._degraded
 
     def _fresh_island_resources(self, island_index: int) -> None:
-        """Replace one island's persistent compute state before a retry.
-
-        A task that died mid-execution leaves its arena's liveness
-        bookkeeping (interpreted) or workspace bindings (compiled) in an
-        indeterminate state; a retry therefore starts from fresh storage.
-        Only the failed island pays — its neighbours keep their warm
-        buffers, which is exactly the isolation the islands approach buys.
-        For a tiled island every block workspace is reset: a single failed
-        block invalidates the whole island step, so the whole sweep
-        restarts pristine.
-        """
-        if self._tiled is not None:
-            self._tiled[island_index].refresh_workspaces()
-        elif self._compiled is not None:
-            compiled = self._compiled[island_index]
-            if compiled.persistent:
-                compiled.persistent = True  # installs a fresh Workspace
-        elif self.reuse_buffers:
-            self._arenas[island_index] = StageArena(self.dtype)
-            self._scratch[island_index] = EvalArena(self.dtype)
+        """Replace one island's persistent compute state before a retry."""
+        self.backend.refresh(island_index)
 
     def _invalidate_after_failure(self, out: np.ndarray) -> None:
         """Make a half-written step unobservable as a success.
@@ -433,25 +336,25 @@ class PartitionedRunner:
         On an island failure that survives the retry budget the step
         raises :class:`IslandFailure` with the output buffer invalidated
         and ``last_step_stats`` reset — a failed step is never
-        observable as a successful one.
+        observable as a successful one.  Successful steps are recorded
+        into :attr:`telemetry` (when it has sinks) as
+        :class:`~repro.runtime.telemetry.StepEvent` records.
         """
         if step_index is None:
             step_index = self._step_index
+        observing = self.telemetry.enabled
+        step_begin = time.perf_counter() if observing else 0.0
+        faults_before = replace(self.fault_stats) if observing else None
         self._last_ghost_counts = (0, 0)
         inputs = self.extend_inputs(arrays, changed=changed)
         ghost_allocations, ghost_reused = self._last_ghost_counts
         out, output_allocations = self._output_array()
 
         islands = self.decomposition.islands
-        # Per-island (stage_allocs, scratch_allocs, reuses), fault and
-        # timing records, filled by index position so threaded islands
-        # never contend on a shared counter.
-        island_counts: List[Tuple[int, int, int]] = [(0, 0, 0)] * len(islands)
+        # Per-island results and fault records, filled by index position
+        # so threaded islands never contend on a shared counter.
+        island_results: List[Optional[IslandResult]] = [None] * len(islands)
         island_faults: List[Optional[FaultStats]] = [None] * len(islands)
-        timing = self.collect_timings
-        island_seconds: List[float] = [0.0] * len(islands)
-        island_blocks: List[Tuple[float, ...]] = [()] * len(islands)
-        island_stages: List[Optional[Dict[str, float]]] = [None] * len(islands)
 
         def fault_slot(position: int) -> FaultStats:
             stats = island_faults[position]
@@ -459,119 +362,15 @@ class PartitionedRunner:
                 stats = island_faults[position] = FaultStats()
             return stats
 
-        def stage_delta(
-            after: Optional[Dict[str, float]],
-            before: Optional[Dict[str, float]],
-        ) -> Optional[Dict[str, float]]:
-            if after is None:
-                return None
-            if not before:
-                return dict(after)
-            return {
-                name: seconds - before.get(name, 0.0)
-                for name, seconds in after.items()
-            }
-
-        def run_island_attempt(position: int, island, attempt: int) -> None:
-            fired = (
-                self.fault_injector.fire(step_index, island.index)
-                if self.fault_injector is not None
-                else ()
-            )
-            if fired:
-                apply_pre_faults(
-                    fired, fault_slot(position), island.index, step_index, attempt
-                )
-            begin = time.perf_counter() if timing else 0.0
-            if self._tiled is not None:
-                tiled = self._tiled[island.index]
-                before = tiled.counters()
-                stage_before = tiled.stage_seconds if timing else None
-                tiled.execute(inputs, out)
-                after = tiled.counters()
-                island_counts[position] = (
-                    after[0] - before[0],
-                    0,
-                    after[1] - before[1],
-                )
-                if timing:
-                    island_blocks[position] = tiled.last_block_seconds or ()
-                    island_stages[position] = stage_delta(
-                        tiled.stage_seconds, stage_before
-                    )
-            elif self._compiled is not None:
-                compiled = self._compiled[island.index]
-                workspace = compiled.workspace
-                before = (
-                    (workspace.allocations, workspace.reuses)
-                    if workspace is not None
-                    else (0, 0)
-                )
-                stage_before = compiled.stage_seconds if timing else None
-                results = compiled(inputs)
-                workspace = compiled.last_workspace
-                island_counts[position] = (
-                    workspace.allocations - before[0],
-                    0,
-                    workspace.reuses - before[1],
-                )
-                out[island.part.slices()] = results[self.output_field].view(
-                    island.part
-                )
-                if timing:
-                    island_stages[position] = stage_delta(
-                        compiled.stage_seconds, stage_before
-                    )
-            else:
-                results, stats = execute_plan(
-                    self.program,
-                    island.halo_plan,
-                    inputs,
-                    dtype=self.dtype,
-                    arena=self._arenas.get(island.index),
-                    scratch=self._scratch.get(island.index),
-                    collect_timing=timing,
-                )
-                island_counts[position] = (
-                    stats.allocations,
-                    stats.scratch_allocations,
-                    stats.reused_buffers + stats.scratch_reused,
-                )
-                out[island.part.slices()] = results[self.output_field].view(
-                    island.part
-                )
-                if timing:
-                    island_stages[position] = stats.stage_seconds
-            if timing:
-                island_seconds[position] = time.perf_counter() - begin
-            if fired:
-                apply_post_faults(
-                    fired, fault_slot(position), out[island.part.slices()]
-                )
-
         def run_island(position_island: Tuple[int, object]) -> None:
             position, island = position_island
-            attempt = 0
-            while True:
-                try:
-                    run_island_attempt(position, island, attempt)
-                except Exception as error:
-                    attempt += 1
-                    if attempt > self.max_retries:
-                        stats = fault_slot(position)
-                        stats.islands_failed += 1
-                        raise IslandFailure(
-                            island.index, step_index, attempt, error
-                        ) from error
-                    stats = fault_slot(position)
-                    stats.retries += 1
-                    self._fresh_island_resources(island.index)
-                    if self.retry_backoff:
-                        time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
-                else:
-                    if attempt:
-                        fault_slot(position).retry_successes += 1
-                    return
+            island_results[position] = self.resilience.run_island(
+                island,
+                step_index,
+                inputs,
+                out,
+                lambda: fault_slot(position),
+            )
 
         errors: List[BaseException] = []
         try:
@@ -632,18 +431,19 @@ class PartitionedRunner:
             self._invalidate_after_failure(out)
             raise errors[0]
 
-        stage_allocations = sum(c[0] for c in island_counts)
-        scratch_allocations = sum(c[1] for c in island_counts)
-        reused = ghost_reused + sum(c[2] for c in island_counts)
+        results = [result or IslandResult() for result in island_results]
+        stage_allocations = sum(r.stage_allocations for r in results)
+        scratch_allocations = sum(r.scratch_allocations for r in results)
+        reused = ghost_reused + sum(r.reused for r in results)
         timings: Optional[StepTimings] = None
-        if timing:
+        if self.collect_timings:
             merged: Dict[str, float] = {}
-            for per_island in island_stages:
-                for name, seconds in (per_island or {}).items():
+            for result in results:
+                for name, seconds in (result.stage_seconds or {}).items():
                     merged[name] = merged.get(name, 0.0) + seconds
             timings = StepTimings(
-                island_seconds=tuple(island_seconds),
-                block_seconds=tuple(island_blocks),
+                island_seconds=tuple(r.seconds for r in results),
+                block_seconds=tuple(r.block_seconds for r in results),
                 stage_seconds=merged,
             )
         self.last_step_stats = StepStats(
@@ -661,6 +461,15 @@ class PartitionedRunner:
             timings=timings,
         )
         self._step_index = step_index + 1
+        if observing:
+            self.telemetry.record(
+                StepEvent(
+                    step=step_index,
+                    wall_seconds=time.perf_counter() - step_begin,
+                    stats=self.last_step_stats,
+                    faults=self.fault_stats.since(faults_before),
+                )
+            )
         return out
 
 
@@ -672,12 +481,12 @@ class MpdataIslandSolver:
     concurrently.  Output is bit-identical to the whole-domain solver.
 
     The solver is a context manager (closing releases the runner's thread
-    pool).  ``reuse_buffers`` / ``reuse_output`` configure the underlying
-    steady-state engine; ``max_retries`` / ``retry_backoff`` /
-    ``fault_injector`` its fault tolerance; ``block_shape`` /
-    ``intra_threads`` / ``collect_timings`` its tiled (3+1)D backend —
-    see :class:`PartitionedRunner`.  Checkpointed rollback-and-replay is
-    enabled per run via :meth:`run`'s ``recovery`` policy.
+    pool).  The engine — backend, buffer reuse, resilience policy, timing
+    collection — is selected by one :class:`~repro.runtime.config
+    .EngineConfig`; the old keyword arguments remain accepted for one
+    release via the same deprecation shim as the runner.  Checkpointed
+    rollback-and-replay is enabled per run via :meth:`run`'s ``recovery``
+    policy.
     """
 
     def __init__(
@@ -685,37 +494,23 @@ class MpdataIslandSolver:
         shape: Tuple[int, int, int],
         islands: int,
         variant: Variant = Variant.A,
-        boundary: str = "periodic",
-        threads: int = 1,
+        config: Optional[EngineConfig] = None,
+        *,
         program: Optional[StencilProgram] = None,
-        dtype: np.dtype = np.float64,
-        compiled: bool = False,
-        reuse_buffers: bool = True,
-        reuse_output: bool = False,
-        max_retries: int = 0,
-        retry_backoff: float = 0.0,
         fault_injector: Optional[FaultInjector] = None,
-        block_shape: Optional[Tuple[int, int, int]] = None,
-        intra_threads: int = 1,
-        collect_timings: bool = False,
+        telemetry: Optional[Telemetry] = None,
+        **legacy: object,
     ) -> None:
+        config = resolve_engine_config(config, legacy, "MpdataIslandSolver")
+        self.config = config
         self.runner = PartitionedRunner(
             program if program is not None else mpdata_program(),
             shape,
             islands=islands,
             variant=variant,
-            boundary=boundary,
-            threads=threads,
-            dtype=dtype,
-            compiled=compiled,
-            reuse_buffers=reuse_buffers,
-            reuse_output=reuse_output,
-            max_retries=max_retries,
-            retry_backoff=retry_backoff,
+            config=config,
             fault_injector=fault_injector,
-            block_shape=block_shape,
-            intra_threads=intra_threads,
-            collect_timings=collect_timings,
+            telemetry=telemetry,
         )
         self.last_recovery_report = None
 
@@ -726,6 +521,10 @@ class MpdataIslandSolver:
     @property
     def last_step_stats(self) -> Optional[StepStats]:
         return self.runner.last_step_stats
+
+    @property
+    def telemetry(self) -> Telemetry:
+        return self.runner.telemetry
 
     def close(self) -> None:
         self.runner.close()

@@ -1,0 +1,175 @@
+"""Per-island retry, backoff and fault application over any backend.
+
+The island is the unit of failure isolation: it recomputes its transitive
+halo instead of communicating, so a failed island task can be re-executed
+in place without touching its neighbours.  This module is that policy,
+written once for every backend instead of once per execution path: a
+:class:`ResilientExecutor` wraps an
+:class:`~repro.runtime.backends.IslandBackend` and runs one island with
+deterministic fault injection applied around the sweep, a bounded retry
+loop with exponential backoff, fresh backend resources before each retry
+(:meth:`~repro.runtime.backends.IslandBackend.refresh`), and
+:class:`IslandFailure` once the budget is spent.
+
+What it deliberately does *not* do: poison the half-written output
+buffer or decide how islands are scheduled — those stay with the runner,
+which owns the output array and the island-level work team.  Silent
+corruption and budget exhaustion are handled a level further up by
+checkpointed rollback (:mod:`repro.runtime.recovery`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional
+
+import numpy as np
+
+from .backends import IslandBackend, IslandResult
+from .config import EngineConfig
+from .faults import (
+    FaultInjector,
+    FaultStats,
+    apply_post_faults,
+    apply_pre_faults,
+)
+
+__all__ = ["IslandFailure", "ResiliencePolicy", "ResilientExecutor"]
+
+
+class IslandFailure(RuntimeError):
+    """An island task failed after exhausting its retry budget.
+
+    The step it belonged to did **not** complete: the runner's persistent
+    output buffer has been invalidated (filled with NaN and dropped from
+    reuse) and ``last_step_stats`` reset to ``None``, so no caller can
+    mistake the partial step for a successful one.
+    """
+
+    def __init__(
+        self, island: int, step: int, attempts: int, cause: BaseException
+    ) -> None:
+        super().__init__(
+            f"island {island} failed at step {step} after {attempts} "
+            f"attempt(s): {cause!r}"
+        )
+        self.island = island
+        self.step = step
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How hard one island step tries before giving up.
+
+    ``max_retries`` is the per-island retry budget within one step (an
+    island fails its step after ``1 + max_retries`` attempts);
+    ``retry_backoff`` the base sleep before retry N, growing as
+    ``retry_backoff * 2**(N-1)``.  Zero backoff retries immediately —
+    the in-process failure modes retry targets are transient task
+    faults, not contended external resources.
+    """
+
+    max_retries: int = 0
+    retry_backoff: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
+
+    @classmethod
+    def from_config(cls, config: EngineConfig) -> "ResiliencePolicy":
+        return cls(
+            max_retries=config.max_retries,
+            retry_backoff=config.retry_backoff,
+        )
+
+
+class ResilientExecutor:
+    """Run islands through a backend under a :class:`ResiliencePolicy`.
+
+    One executor serves all of a runner's islands concurrently —
+    :meth:`run_island` keeps no shared mutable state.  Fault accounting
+    goes through the caller-supplied ``fault_stats`` factory so the
+    runner can keep per-island slots that threaded islands never contend
+    on; the factory is only invoked when there is something to count.
+    """
+
+    def __init__(
+        self,
+        backend: IslandBackend,
+        policy: ResiliencePolicy,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
+        self.backend = backend
+        self.policy = policy
+        self.injector = injector
+
+    def _attempt(
+        self,
+        island,
+        step_index: int,
+        attempt: int,
+        inputs: Mapping[str, object],
+        out: np.ndarray,
+        fault_stats: Callable[[], FaultStats],
+    ) -> IslandResult:
+        fired = (
+            self.injector.fire(step_index, island.index)
+            if self.injector is not None
+            else ()
+        )
+        if fired:
+            apply_pre_faults(
+                fired, fault_stats(), island.index, step_index, attempt
+            )
+        begin = time.perf_counter() if self.backend.timed else 0.0
+        result = self.backend.execute_island(island, inputs, out)
+        if self.backend.timed:
+            result.seconds = time.perf_counter() - begin
+        if fired:
+            apply_post_faults(fired, fault_stats(), out[island.part.slices()])
+        return result
+
+    def run_island(
+        self,
+        island,
+        step_index: int,
+        inputs: Mapping[str, object],
+        out: np.ndarray,
+        fault_stats: Callable[[], FaultStats],
+    ) -> IslandResult:
+        """One island's step: attempt, retry within budget, or raise.
+
+        Each retry runs on fresh backend resources — a task that died
+        mid-execution leaves its arena or workspace bookkeeping
+        indeterminate — and sleeps the policy's exponential backoff
+        first.  Raises :class:`IslandFailure` (chained to the last
+        error) once the island has failed ``1 + max_retries`` times.
+        """
+        attempt = 0
+        while True:
+            try:
+                result = self._attempt(
+                    island, step_index, attempt, inputs, out, fault_stats
+                )
+            except Exception as error:
+                attempt += 1
+                if attempt > self.policy.max_retries:
+                    stats = fault_stats()
+                    stats.islands_failed += 1
+                    raise IslandFailure(
+                        island.index, step_index, attempt, error
+                    ) from error
+                stats = fault_stats()
+                stats.retries += 1
+                self.backend.refresh(island.index)
+                if self.policy.retry_backoff:
+                    time.sleep(self.policy.retry_backoff * (2 ** (attempt - 1)))
+            else:
+                if attempt:
+                    fault_stats().retry_successes += 1
+                return result

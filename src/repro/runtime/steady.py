@@ -17,14 +17,16 @@ the tier-1 smoke test.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..mpdata.stages import FIELD_X
 from ..mpdata.fields import random_state
+from ..mpdata.stages import FIELD_X
+from .config import EngineConfig
 from .island_exec import MpdataIslandSolver
+from .telemetry import InMemorySink, JsonlSink, Telemetry
 
 __all__ = [
     "SteadyStateReport",
@@ -106,32 +108,44 @@ class SteadyStateReport:
 
 
 def _run_mode(
-    solver: MpdataIslandSolver, state, steps: int
+    solver: MpdataIslandSolver, state, steps: int, sink: InMemorySink
 ) -> Tuple[np.ndarray, Dict[str, float], float]:
-    """Warm up one step, then time ``steps`` more, mirroring ``run()``."""
+    """Warm up one step, then time ``steps`` more, mirroring ``run()``.
+
+    Per-step counters come off the telemetry ``sink`` the solver was
+    built with — the timing loop itself only steps, it never reads the
+    runner's stats.
+    """
     state.validate()
     arrays = solver._arrays(state)
     arrays[FIELD_X] = np.asarray(state.x, dtype=solver.runner.dtype)
 
     arrays[FIELD_X] = solver.runner.step(arrays)  # warm-up fills every buffer
-    warmup_allocations = solver.runner.last_step_stats.allocations
+    warmup_allocations = sink.last.stats.allocations
 
-    allocations = 0
-    reused = 0
     begin = time.perf_counter()
     for _ in range(steps):
         arrays[FIELD_X] = solver.runner.step(arrays, changed={FIELD_X})
-        stats = solver.runner.last_step_stats
-        allocations += stats.allocations
-        reused += stats.reused
     elapsed = time.perf_counter() - begin
+    timed = sink.events[1:]
     numbers = {
         "step_time_s": elapsed / steps,
-        "allocations_per_step": allocations / steps,
-        "reused_per_step": reused / steps,
+        "allocations_per_step": sum(e.stats.allocations for e in timed) / steps,
+        "reused_per_step": sum(e.stats.reused for e in timed) / steps,
         "warmup_allocations": float(warmup_allocations),
     }
     return np.array(arrays[FIELD_X], copy=True), numbers, elapsed
+
+
+def _mode_telemetry(
+    jsonl_path: Optional[str],
+) -> Tuple[Telemetry, InMemorySink]:
+    """An in-memory spine for one measured mode, plus an optional JSONL tap."""
+    sink = InMemorySink()
+    sinks = [sink]
+    if jsonl_path is not None:
+        sinks.append(JsonlSink(jsonl_path))
+    return Telemetry(sinks), sink
 
 
 def measure_steady_state(
@@ -143,15 +157,23 @@ def measure_steady_state(
     boundary: str = "periodic",
     seed: int = 0,
     state=None,
+    telemetry_jsonl: Optional[str] = None,
 ) -> SteadyStateReport:
     """Measure naive vs engine stepping on one configuration.
 
     Both modes advance ``1 + steps`` identical time steps from the same
     initial state (one warm-up step, then the timed steady-state window)
-    and must produce bit-identical trajectories.
+    and must produce bit-identical trajectories.  ``telemetry_jsonl``
+    additionally streams the engine mode's per-step events to a JSON
+    Lines file.
     """
     if state is None:
         state = random_state(shape, seed=seed)
+    base = EngineConfig(
+        backend="compiled" if compiled else "interpreter",
+        boundary=boundary,
+        threads=threads,
+    )
     report = SteadyStateReport(
         shape=tuple(shape),
         islands=islands,
@@ -162,16 +184,16 @@ def measure_steady_state(
     )
     results = {}
     for mode, reuse in (("naive", False), ("engine", True)):
+        telemetry, sink = _mode_telemetry(
+            telemetry_jsonl if mode == "engine" else None
+        )
         with MpdataIslandSolver(
             shape,
             islands,
-            boundary=boundary,
-            threads=threads,
-            compiled=compiled,
-            reuse_buffers=reuse,
-            reuse_output=reuse,
+            config=replace(base, reuse_buffers=reuse, reuse_output=reuse),
+            telemetry=telemetry,
         ) as solver:
-            final, numbers, _ = _run_mode(solver, state, steps)
+            final, numbers, _ = _run_mode(solver, state, steps, sink)
         results[mode] = final
         report.modes[mode] = numbers
     report.bit_identical = bool(np.array_equal(results["naive"], results["engine"]))
@@ -260,6 +282,7 @@ def measure_tiled_engine(
     seed: int = 0,
     state=None,
     collect_timings: bool = False,
+    telemetry_jsonl: Optional[str] = None,
 ) -> TiledEngineReport:
     """Measure the flat compiled engine against its tiled backend.
 
@@ -271,6 +294,8 @@ def measure_tiled_engine(
 
     ``block_shape=None`` lets :func:`~repro.stencil.tiling.plan_blocks`
     pick a block fitting ``block_cache_bytes`` via the working-set model.
+    ``telemetry_jsonl`` streams the ``tiled`` mode's per-step events to a
+    JSON Lines file.
     """
     from ..stencil.region import Box
     from ..stencil.tiling import plan_blocks
@@ -298,23 +323,30 @@ def measure_tiled_engine(
     )
     results = {}
     for mode, blocks, intra in configs:
-        with MpdataIslandSolver(
-            shape,
-            islands,
+        config = EngineConfig(
+            backend="compiled" if blocks is None else "tiled",
             boundary=boundary,
             threads=threads,
-            compiled=blocks is None,
             reuse_buffers=True,
             reuse_output=True,
             block_shape=blocks,
             intra_threads=intra,
             collect_timings=collect_timings and blocks is not None,
+        )
+        telemetry, sink = _mode_telemetry(
+            telemetry_jsonl if mode == "tiled" else None
+        )
+        with MpdataIslandSolver(
+            shape,
+            islands,
+            config=config,
+            telemetry=telemetry,
         ) as solver:
-            final, numbers, _ = _run_mode(solver, state, steps)
+            final, numbers, _ = _run_mode(solver, state, steps, sink)
             numbers["blocks"] = float(
                 sum(
                     plan.block_count
-                    for plan in solver.runner._tiled.values()
+                    for plan in solver.runner.backend.plans.values()
                 )
                 if blocks is not None
                 else 0

@@ -20,6 +20,7 @@ from ..core import Partition, Variant
 from ..mpdata.reference import MpdataState
 from ..mpdata.solver import MpdataSolver
 from ..stencil import StencilProgram
+from .config import EngineConfig
 from .island_exec import MpdataIslandSolver
 
 __all__ = ["VerificationResult", "verify_islands", "verify_variants"]
@@ -61,16 +62,19 @@ def verify_islands(
     """
     whole = MpdataSolver(shape, boundary=boundary, program=program)
     expected = whole.run(state, steps)
+    config = EngineConfig(
+        backend="compiled" if compiled else "interpreter",
+        boundary=boundary,
+        threads=threads,
+        reuse_buffers=reuse_buffers,
+        reuse_output=reuse_output,
+    )
     with MpdataIslandSolver(
         shape,
         islands,
         variant=variant,
-        boundary=boundary,
-        threads=threads,
+        config=config,
         program=program,
-        compiled=compiled,
-        reuse_buffers=reuse_buffers,
-        reuse_output=reuse_output,
     ) as split:
         actual = split.run(state, steps)
         exact = bool(np.array_equal(expected, actual))

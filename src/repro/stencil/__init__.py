@@ -15,6 +15,13 @@ together with the analyses the islands-of-cores approach rests on:
 * :mod:`repro.stencil.validate` — lints and dataflow diagnostics.
 """
 
+from .autotune import (
+    TuningResult,
+    autotune_blocks,
+    candidate_shapes,
+    measured_objective,
+)
+from .codegen import CompiledPlan, Workspace, compile_plan, compile_program
 from .expr import (
     Access,
     Binary,
@@ -32,15 +39,14 @@ from .expr import (
     pos,
     sqrt,
 )
-from .autotune import (
-    TuningResult,
-    autotune_blocks,
-    candidate_shapes,
-    measured_objective,
-)
-from .codegen import CompiledPlan, Workspace, compile_plan, compile_program
-from .tiled_exec import BlockTask, TiledPlan, compile_plan_tiled
 from .field import Field, FieldRole
+from .flops import (
+    ProgramCost,
+    StageCost,
+    plan_flops,
+    program_arith_flops_per_point,
+    program_cost,
+)
 from .gallery import (
     GALLERY,
     biharmonic,
@@ -49,21 +55,6 @@ from .gallery import (
     smoother_chain,
     star3d,
     wave3d,
-)
-from .serialize import (
-    dump_program,
-    expr_from_dict,
-    expr_to_dict,
-    load_program,
-    program_from_dict,
-    program_to_dict,
-)
-from .flops import (
-    ProgramCost,
-    StageCost,
-    plan_flops,
-    program_arith_flops_per_point,
-    program_cost,
 )
 from .halo import HaloPlan, program_halo_depth, required_regions, stage_expansions
 from .interpreter import (
@@ -76,7 +67,16 @@ from .interpreter import (
 from .pretty import describe_program, describe_stage_table
 from .program import ProgramError, StencilProgram
 from .region import Box, full_box
+from .serialize import (
+    dump_program,
+    expr_from_dict,
+    expr_to_dict,
+    load_program,
+    program_from_dict,
+    program_to_dict,
+)
 from .stage import AxisExtent, Stage
+from .tiled_exec import BlockTask, TiledPlan, compile_plan_tiled
 from .tiling import (
     BlockPlan,
     plan_blocks,

@@ -162,14 +162,18 @@ def measured_objective(
     def score(plan: BlockPlan) -> float:
         # Imported lazily: autotune is a stencil-layer module and must not
         # pull the runtime layer (which imports stencil) at import time.
+        from ..runtime.config import EngineConfig
         from ..runtime.island_exec import MpdataIslandSolver
 
         with MpdataIslandSolver(
             shape,
             islands,
-            boundary=boundary,
-            block_shape=plan.block_shape,
-            intra_threads=intra_threads,
+            config=EngineConfig(
+                backend="tiled",
+                boundary=boundary,
+                block_shape=plan.block_shape,
+                intra_threads=intra_threads,
+            ),
         ) as solver:
             arrays = solver._arrays(state)
             arrays[FIELD_X] = np.asarray(state.x, dtype=solver.runner.dtype)

@@ -11,7 +11,7 @@ from dataclasses import dataclass, field as dc_field
 from functools import lru_cache
 from typing import Dict, Set, Tuple
 
-from .expr import Access, Expr, Offset
+from .expr import Expr, Offset
 
 __all__ = ["Stage", "AxisExtent"]
 

@@ -18,8 +18,6 @@ exactly the computation/communication trade-off, pushed into the IR.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
-
 from .expr import Access, Binary, Const, Expr, Offset, Unary, Where
 from .program import StencilProgram
 from .stage import Stage

@@ -1,0 +1,274 @@
+"""Tests for the engine configuration layer and the telemetry spine.
+
+Covers the frozen :class:`EngineConfig` (validation, JSON round-trip,
+CLI derivation, legacy-kwarg shim), the backend registry (every backend
+selectable by key, all bit-identical), and the pluggable telemetry
+sinks.
+"""
+
+import json
+import warnings
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser
+from repro.mpdata import random_state
+from repro.mpdata.stages import FIELD_X
+from repro.runtime import (
+    BACKEND_KEYS,
+    BACKENDS,
+    EngineConfig,
+    InMemorySink,
+    JsonlSink,
+    MpdataIslandSolver,
+    StepEvent,
+    TableSink,
+    Telemetry,
+)
+
+SHAPE = (16, 12, 8)
+
+
+def _trajectory(config, steps=50, islands=2, telemetry=None):
+    state = random_state(SHAPE, seed=7)
+    with MpdataIslandSolver(
+        SHAPE, islands, config=config, telemetry=telemetry
+    ) as solver:
+        return np.array(solver.run(state, steps), copy=True)
+
+
+class TestEngineConfigValidation:
+    def test_defaults(self):
+        config = EngineConfig()
+        assert config.backend == "interpreter"
+        assert config.boundary == "periodic"
+        assert config.dtype == "float64"
+        assert config.numpy_dtype == np.dtype("float64")
+        assert config.max_retries == 0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            EngineConfig(backend="gpu")
+
+    def test_unknown_boundary_rejected(self):
+        with pytest.raises(ValueError, match="boundary"):
+            EngineConfig(boundary="reflecting")
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            EngineConfig(max_retries=-1)
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(ValueError, match="retry_backoff"):
+            EngineConfig(retry_backoff=-0.5)
+
+    def test_intra_threads_require_tiled_backend(self):
+        with pytest.raises(ValueError, match="intra_threads"):
+            EngineConfig(backend="compiled", intra_threads=2)
+
+    def test_tiled_requires_block_shape(self):
+        with pytest.raises(ValueError, match="block_shape"):
+            EngineConfig(backend="tiled")
+
+    def test_block_shape_requires_tiled(self):
+        with pytest.raises(ValueError, match="block_shape"):
+            EngineConfig(backend="compiled", block_shape=(8, 8, 8))
+
+    def test_bad_fault_spec_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(fault_specs=("nonsense",))
+
+    def test_registry_matches_keys(self):
+        assert set(BACKENDS) == set(BACKEND_KEYS)
+        for key, backend_cls in BACKENDS.items():
+            assert backend_cls.key == key
+
+
+class TestEngineConfigRoundTrip:
+    def test_to_dict_from_dict_identity(self):
+        config = EngineConfig(
+            backend="tiled",
+            boundary="open",
+            threads=2,
+            block_shape=(8, 6, 8),
+            intra_threads=2,
+            max_retries=3,
+            retry_backoff=0.25,
+            fault_specs=("crash@island=0,step=1",),
+            collect_timings=True,
+        )
+        assert EngineConfig.from_dict(config.to_dict()) == config
+
+    def test_to_dict_is_json_safe(self):
+        config = EngineConfig(backend="tiled", block_shape=(8, 8, 8))
+        assert EngineConfig.from_dict(
+            json.loads(json.dumps(config.to_dict()))
+        ) == config
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises((TypeError, ValueError)):
+            EngineConfig.from_dict({"backend": "interpreter", "gpu": True})
+
+    def test_cli_args_round_trip_same_behaviour(self):
+        args = build_parser().parse_args(
+            ["engine", "--shape", *map(str, SHAPE), "--islands", "2",
+             "--compiled"]
+        )
+        config = EngineConfig.from_cli_args(args)
+        assert config.backend == "compiled"
+        assert config.max_retries == 0  # no fault flags -> retries stay off
+        revived = EngineConfig.from_dict(config.to_dict())
+        assert revived == config
+        baseline = _trajectory(config, steps=5)
+        again = _trajectory(revived, steps=5)
+        assert np.array_equal(baseline, again)
+
+    def test_cli_args_fault_flags_engage_retries(self):
+        args = build_parser().parse_args(
+            ["engine", "--faults", "crash@island=0,step=1",
+             "--checkpoint-every", "2", "--retries", "4"]
+        )
+        config = EngineConfig.from_cli_args(args)
+        assert config.max_retries == 4
+        assert config.fault_specs == ("crash@island=0,step=1",)
+        assert config.build_fault_injector() is not None
+
+
+class TestLegacyKwargShim:
+    def test_legacy_kwargs_warn_and_match_config(self):
+        state = random_state(SHAPE, seed=7)
+        with pytest.warns(DeprecationWarning, match="config=EngineConfig"):
+            with MpdataIslandSolver(
+                SHAPE, 2, compiled=True, reuse_output=True
+            ) as solver:
+                legacy = np.array(solver.run(state, 5), copy=True)
+        config = EngineConfig(backend="compiled", reuse_output=True)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            modern = _trajectory(config, steps=5)
+        assert np.array_equal(legacy, modern)
+
+    def test_block_shape_kwarg_selects_tiled_over_compiled(self):
+        config = EngineConfig.from_legacy_kwargs(
+            compiled=True, block_shape=(8, 6, 8)
+        )
+        assert config.backend == "tiled"
+        assert config.block_shape == (8, 6, 8)
+
+    def test_mixing_config_and_legacy_kwargs_is_an_error(self):
+        with pytest.raises(TypeError, match="config"):
+            MpdataIslandSolver(
+                SHAPE, 2, config=EngineConfig(), compiled=True
+            )
+
+    def test_unknown_kwarg_is_an_error(self):
+        with pytest.raises(TypeError, match="turbo"):
+            MpdataIslandSolver(SHAPE, 2, turbo=True)
+
+
+class TestBackendRegistryBitIdentical:
+    def test_all_backends_bit_identical_over_50_steps(self):
+        configs = {
+            "interpreter": EngineConfig(backend="interpreter"),
+            "compiled": EngineConfig(backend="compiled"),
+            "tiled": EngineConfig(backend="tiled", block_shape=(8, 6, 8)),
+        }
+        assert set(configs) == set(BACKEND_KEYS)
+        finals = {key: _trajectory(cfg) for key, cfg in configs.items()}
+        reference = finals["interpreter"]
+        for key in BACKEND_KEYS:
+            assert np.array_equal(finals[key], reference), key
+
+    def test_steady_state_allocation_free_for_every_backend(self):
+        for key in BACKEND_KEYS:
+            block = (8, 6, 8) if key == "tiled" else None
+            config = EngineConfig(
+                backend=key, block_shape=block, reuse_output=True
+            )
+            state = random_state(SHAPE, seed=7)
+            with MpdataIslandSolver(SHAPE, 2, config=config) as solver:
+                arrays = solver._arrays(state)
+                arrays[FIELD_X] = solver.runner.step(arrays)  # warm-up
+                arrays[FIELD_X] = solver.runner.step(
+                    arrays, changed={FIELD_X}
+                )
+                assert solver.last_step_stats.allocations == 0, key
+
+
+class TestTelemetry:
+    def test_disabled_by_default(self):
+        telemetry = Telemetry()
+        assert not telemetry.enabled
+        assert telemetry.last_event is None
+
+    def test_in_memory_sink_records_each_step(self):
+        sink = InMemorySink()
+        _trajectory(
+            EngineConfig(backend="compiled", reuse_output=True), steps=4,
+            telemetry=Telemetry((sink,)),
+        )
+        assert len(sink.events) == 4
+        assert [event.step for event in sink.events] == [0, 1, 2, 3]
+        assert sink.last.stats.allocations == 0  # steady after step 0
+        assert sink.last.faults.injected_crashes == 0
+
+    def test_in_memory_sink_capacity_bound(self):
+        sink = InMemorySink(capacity=2)
+        _trajectory(
+            EngineConfig(backend="compiled", reuse_output=True), steps=5,
+            telemetry=Telemetry((sink,)),
+        )
+        assert [event.step for event in sink.events] == [3, 4]
+
+    def test_jsonl_sink_round_trips_events(self, tmp_path):
+        path = tmp_path / "steps.jsonl"
+        _trajectory(
+            EngineConfig(backend="compiled", reuse_output=True), steps=3,
+            telemetry=Telemetry((JsonlSink(path),)),
+        )
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3
+        payload = json.loads(lines[-1])
+        assert payload["step"] == 2
+        assert payload["allocations"] == 0
+
+    def test_table_sink_renders_rows(self):
+        sink = TableSink()
+        _trajectory(
+            EngineConfig(backend="compiled"), steps=2,
+            telemetry=Telemetry((sink,)),
+        )
+        table = sink.render()
+        assert "step" in table
+        assert len(table.strip().splitlines()) >= 3  # header + 2 rows
+
+    def test_event_dict_shape(self):
+        sink = InMemorySink()
+        _trajectory(
+            EngineConfig(backend="compiled"), steps=1,
+            telemetry=Telemetry((sink,)),
+        )
+        event = sink.last
+        assert isinstance(event, StepEvent)
+        payload = event.to_dict()
+        assert {"step", "wall_seconds", "allocations", "faults"} <= set(
+            payload
+        )
+
+    def test_retry_activity_lands_in_events(self):
+        sink = InMemorySink()
+        config = EngineConfig(
+            backend="compiled",
+            max_retries=2,
+            fault_specs=("crash@island=0,step=1",),
+        )
+        faulty = _trajectory(config, steps=3, telemetry=Telemetry((sink,)))
+        clean = _trajectory(replace(config, fault_specs=()), steps=3)
+        assert np.array_equal(faulty, clean)
+        by_step = {event.step: event for event in sink.events}
+        assert by_step[1].faults.injected_crashes == 1
+        assert by_step[1].faults.retries == 1
+        assert by_step[0].faults.retries == 0
+        assert by_step[2].faults.retries == 0

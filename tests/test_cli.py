@@ -74,6 +74,53 @@ class TestParser:
         assert args.timings
 
 
+class TestEngineValidation:
+    """Inconsistent engine flag mixes fail fast with a parser error."""
+
+    def _error(self, capsys, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        return capsys.readouterr().err
+
+    def test_block_shape_requires_tiled(self, capsys):
+        err = self._error(
+            capsys, ["engine", "--block-shape", "8", "8", "8"]
+        )
+        assert "--tiled" in err
+
+    def test_intra_threads_require_tiled(self, capsys):
+        err = self._error(capsys, ["engine", "--intra-threads", "2"])
+        assert "blocks" in err
+
+    def test_block_shape_must_fit_island_part(self, capsys):
+        err = self._error(
+            capsys,
+            [
+                "engine", "--tiled", "--shape", "32", "16", "8",
+                "--islands", "2", "--block-shape", "64", "8", "8",
+            ],
+        )
+        assert "exceeds the island part" in err
+
+    def test_block_shape_extents_positive(self, capsys):
+        err = self._error(
+            capsys, ["engine", "--tiled", "--block-shape", "8", "0", "8"]
+        )
+        assert "positive" in err
+
+    def test_faults_conflict_with_tiled(self, capsys):
+        err = self._error(
+            capsys,
+            ["engine", "--tiled", "--faults", "crash@island=0,step=1"],
+        )
+        assert "fault-tolerant" in err
+
+    def test_islands_must_be_positive(self, capsys):
+        err = self._error(capsys, ["engine", "--islands", "0"])
+        assert "--islands" in err
+
+
 class TestCommands:
     def test_table2_output(self, capsys):
         assert main(["table2"]) == 0
