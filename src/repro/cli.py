@@ -16,6 +16,8 @@ strategy for a workload:
         --checkpoint-every 5            # fault-tolerant run + recovery report
     python -m repro engine --tiled --block-shape 32 32 16 \\
         --intra-threads 2 --timings     # flat vs tiled (3+1)D backend
+    python -m repro engine --halo exchange --variant 2D \\
+        --grid 2 2                      # per-stage halo exchange, 2D grid
 """
 
 from __future__ import annotations
@@ -102,9 +104,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--shape", type=int, nargs=3, default=(128, 64, 16), metavar="N"
     )
     engine.add_argument("--steps", type=int, default=10)
-    engine.add_argument("--islands", type=int, default=4)
+    engine.add_argument(
+        "--islands", type=int, default=None,
+        help="island count (default 4, or PIxPJ when --grid is given)",
+    )
     engine.add_argument("--threads", type=int, default=1)
     engine.add_argument("--compiled", action="store_true")
+    halo = engine.add_argument_group(
+        "halo policy",
+        "how island boundaries are satisfied each step: recompute the "
+        "transitive halo once per step (scenario 2), exchange boundary "
+        "planes with a barrier per stage (scenario 1), or pick "
+        "per-boundary from the shipped volume (hybrid)",
+    )
+    halo.add_argument(
+        "--halo", choices=("recompute", "exchange", "hybrid"),
+        default="recompute",
+        help="halo policy (default recompute)",
+    )
+    halo.add_argument(
+        "--halo-threshold", type=int, default=None, metavar="POINTS",
+        help="hybrid only: boundaries shipping more than POINTS per step "
+        "switch from exchange to recompute",
+    )
+    halo.add_argument(
+        "--variant", choices=("A", "B", "2D"), default="A",
+        help="partition variant: A splits i, B splits j, 2D splits both "
+        "(requires --grid; default A)",
+    )
+    halo.add_argument(
+        "--grid", type=int, nargs=2, default=None, metavar=("PI", "PJ"),
+        help="2D island grid extents (requires --variant 2D)",
+    )
     engine.add_argument(
         "--json", metavar="PATH", default=None,
         help="also write the report as JSON (e.g. BENCH_steady_state.json)",
@@ -334,8 +365,51 @@ def _validate_engine_args(parser, args) -> None:
         or args.checkpoint_every is not None
         or args.checkpoint_dir is not None
     )
+    if args.grid is not None:
+        pi, pj = args.grid
+        if pi < 1 or pj < 1:
+            parser.error("--grid extents must be at least 1")
+        if args.variant != "2D":
+            parser.error(
+                "--grid decomposes over a 2D island grid; add --variant 2D"
+            )
+        if args.islands is not None and args.islands != pi * pj:
+            parser.error(
+                f"--islands {args.islands} contradicts --grid {pi} {pj} "
+                f"({pi * pj} islands); drop --islands or make them agree"
+            )
+        args.islands = pi * pj
+    elif args.variant == "2D":
+        parser.error(
+            "--variant 2D needs the island grid extents; add --grid PI PJ "
+            "(e.g. --grid 2 2)"
+        )
+    if args.islands is None:
+        args.islands = 4
     if args.islands < 1:
         parser.error("--islands must be at least 1")
+    if args.halo_threshold is not None and args.halo != "hybrid":
+        parser.error(
+            "--halo-threshold tunes the hybrid policy; add --halo hybrid"
+        )
+    if args.halo == "hybrid" and args.halo_threshold is None:
+        parser.error(
+            "--halo hybrid needs a per-boundary volume threshold; "
+            "add --halo-threshold POINTS"
+        )
+    if args.halo_threshold is not None and args.halo_threshold < 0:
+        parser.error("--halo-threshold must be non-negative")
+    if args.halo != "recompute" and tiled_flags:
+        parser.error(
+            "the tiled comparison fixes the halo policy to recompute; "
+            "drop --halo or the --tiled/--block-shape/--autotune-blocks "
+            "flags"
+        )
+    if args.variant != "A" and (tiled_flags or fault_flags):
+        parser.error(
+            "the tiled and fault-tolerant runs partition with variant A; "
+            "drop --variant/--grid or the tiled/fault flags"
+        )
     if args.threads < 1:
         parser.error("--threads must be at least 1")
     if args.intra_threads < 1:
@@ -373,6 +447,7 @@ def _validate_engine_args(parser, args) -> None:
 
 
 def _run_engine(args) -> int:
+    from .core import Variant
     from .runtime import measure_steady_state
 
     report = measure_steady_state(
@@ -382,6 +457,10 @@ def _run_engine(args) -> int:
         threads=args.threads,
         compiled=args.compiled,
         telemetry_jsonl=args.telemetry_jsonl,
+        halo=args.halo,
+        halo_threshold=args.halo_threshold,
+        variant=Variant(args.variant),
+        partition_grid=tuple(args.grid) if args.grid else None,
     )
     json_path = args.json
     print(report.render())

@@ -9,6 +9,13 @@
 """
 
 from .affinity import chain_placement, identity_placement, placement_cost
+from .halo import (
+    HALO_POLICIES,
+    HaloLedger,
+    StageFlow,
+    build_halo_ledger,
+    island_halo_plans,
+)
 from .hierarchy import TwoLevelRedundancy, two_level_redundancy
 from .optimizer import StrategyChoice, grid_factorizations, recommend
 from .islands import Island, IslandDecomposition, decompose
@@ -22,20 +29,25 @@ from .redundancy import (
 from .tradeoff import ScenarioCosts, crossover_bandwidth, scenario_costs
 
 __all__ = [
+    "HALO_POLICIES",
+    "HaloLedger",
     "Island",
     "IslandDecomposition",
     "IslandRedundancy",
     "Partition",
+    "StageFlow",
     "RedundancyReport",
     "ScenarioCosts",
     "StrategyChoice",
     "TwoLevelRedundancy",
     "Variant",
+    "build_halo_ledger",
     "chain_placement",
     "crossover_bandwidth",
     "decompose",
     "grid_factorizations",
     "identity_placement",
+    "island_halo_plans",
     "partition_domain",
     "partition_grid_2d",
     "placement_cost",

@@ -18,10 +18,10 @@ core-level islands viable where 1D ones are not.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..stencil import Box, StencilProgram, required_regions
-from .partition import Partition, Variant, partition_domain, partition_grid_2d
+from .partition import Variant, partition_domain, partition_grid_2d
 from .redundancy import redundancy_report
 
 __all__ = ["TwoLevelRedundancy", "two_level_redundancy"]

@@ -24,8 +24,8 @@ from ..stencil import (
     HaloPlan,
     StencilProgram,
     plan_blocks,
-    required_regions,
 )
+from .halo import HaloLedger, build_halo_ledger, island_halo_plans
 from .partition import Partition, Variant, partition_domain
 from .redundancy import RedundancyReport, redundancy_report
 
@@ -84,6 +84,24 @@ class IslandDecomposition:
         """Points of the most loaded island — the parallel critical path."""
         return max(island.compute_points for island in self.islands)
 
+    def halo_ledger(
+        self,
+        policy: str = "recompute",
+        hybrid_max_flow_points: Optional[int] = None,
+    ) -> HaloLedger:
+        """Executable per-stage halo geometry for one policy.
+
+        Built against this decomposition's clip domain, so the resulting
+        compute/buffer boxes are directly runnable by the backends.
+        """
+        return build_halo_ledger(
+            self.program,
+            self.partition,
+            clip_domain=self.clip_domain,
+            policy=policy,
+            hybrid_max_flow_points=hybrid_max_flow_points,
+        )
+
 
 def decompose(
     program: StencilProgram,
@@ -119,8 +137,8 @@ def decompose(
     clip = clip_domain if clip_domain is not None else domain
 
     built = []
-    for index, part in enumerate(partition.parts):
-        halo_plan = required_regions(program, part, domain=clip)
+    plans = island_halo_plans(program, partition, clip_domain=clip)
+    for index, (part, halo_plan) in enumerate(zip(partition.parts, plans)):
         blocks = (
             plan_blocks(program, part, cache_bytes) if cache_bytes else None
         )

@@ -12,7 +12,7 @@ the simulator and returns them ranked by predicted time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 from ..machine import CostModel, MachineSpec, simulate
 from ..stencil import StencilProgram, full_box

@@ -17,7 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from ..stencil import Box, StencilProgram, required_regions
+from ..stencil import Box, StencilProgram
+from .halo import island_halo_plans
 from .partition import Partition, Variant, partition_domain
 
 __all__ = ["IslandRedundancy", "RedundancyReport", "redundancy_report", "variant_table"]
@@ -86,8 +87,8 @@ def redundancy_report(
     domain = partition.domain
     baseline = len(program.stages) * domain.size
     islands = []
-    for index, part in enumerate(partition.parts):
-        plan = required_regions(program, part, domain=domain)
+    plans = island_halo_plans(program, partition, clip_domain=domain)
+    for index, (part, plan) in enumerate(zip(partition.parts, plans)):
         own = sum(box.intersect(part).size for box in plan.stage_boxes)
         extra = plan.extra_points()
         islands.append(IslandRedundancy(index, part, own, extra))

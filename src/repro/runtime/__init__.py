@@ -14,7 +14,9 @@ uniform lifecycle, the resilience layer
 (:mod:`repro.runtime.resilience`) wraps any backend with injection /
 retry / backoff, the telemetry spine (:mod:`repro.runtime.telemetry`)
 records structured per-step events into pluggable sinks, and one frozen
-:class:`~repro.runtime.config.EngineConfig` selects all of it.
+:class:`~repro.runtime.config.EngineConfig` selects all of it — including
+the halo policy (recompute / exchange / hybrid) whose geometry comes from
+:func:`repro.core.build_halo_ledger`.
 """
 
 from .backends import (

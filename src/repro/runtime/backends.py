@@ -29,18 +29,33 @@ one island's after a failed attempt, :meth:`close` releases them.
 Backends know nothing about retries, faults or telemetry — that is the
 resilience layer's job (:mod:`repro.runtime.resilience`) — and they
 never read clocks: wall-time attribution happens around them.
+
+Besides the whole-step :meth:`IslandBackend.execute_island` used by the
+``recompute`` halo policy, every backend also supports *stage-granular*
+execution for the ``exchange`` and ``hybrid`` policies: after
+:meth:`IslandBackend.prepare_exchange` installs a
+:class:`~repro.core.halo.HaloLedger`, each
+:meth:`IslandBackend.execute_island_stage` call computes one stage over
+the island's owned slab into a persistent per-stage buffer, and the
+runner copies boundary planes between those buffers before the next
+stage.  Stage buffers always persist across steps (halo copies target
+them), so exchange-mode steps are allocation-free after warm-up in
+every backend.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import ClassVar, Dict, Mapping, Optional, Tuple, Type
+from time import perf_counter
+from typing import ClassVar, Dict, List, Mapping, Optional, Tuple, Type
 
 import numpy as np
 
 from ..core import IslandDecomposition
-from ..stencil import execute_plan
+from ..core.halo import HaloLedger
+from ..stencil import execute_plan, required_regions
 from ..stencil.expr import EvalArena
+from ..stencil.field import Field, FieldRole
 from ..stencil.interpreter import ArrayRegion, StageArena
 from ..stencil.program import StencilProgram
 from ..stencil.region import Box
@@ -124,6 +139,9 @@ class IslandBackend:
         self.reuse_buffers = reuse_buffers
         self.timed = timed
         self.plans: Dict[int, object] = {}
+        self._ledger: Optional[HaloLedger] = None
+        self._stage_buffers: Dict[int, List[Optional[ArrayRegion]]] = {}
+        self._stage_programs: Dict[int, StencilProgram] = {}
 
     @classmethod
     def from_config(
@@ -168,10 +186,127 @@ class IslandBackend:
         their warm buffers, exactly the isolation the islands approach
         buys.
         """
+        if self._ledger is not None:
+            self._refresh_stage_state(island_index)
+        else:
+            self._refresh_plan(island_index)
+
+    def _refresh_plan(self, island_index: int) -> None:
+        """Replace one island's whole-step compute state (recompute mode)."""
         raise NotImplementedError
 
     def close(self) -> None:
         """Release backend-owned resources (idempotent; default: none)."""
+
+    # -- stage-granular execution (exchange / hybrid halo policies) -----
+    @property
+    def ledger(self) -> Optional[HaloLedger]:
+        """The halo ledger installed by :meth:`prepare_exchange`."""
+        return self._ledger
+
+    def prepare_exchange(self, ledger: HaloLedger) -> None:
+        """Build per-stage buffers and compute state for one halo ledger.
+
+        Called instead of :meth:`prepare` when the halo policy is
+        ``exchange`` or ``hybrid``.  Each island gets one persistent
+        buffer per stage, covering the ledger's buffer box (computed slab
+        plus the halo received from neighbours); halo copies between
+        buffers are the runner's job.
+        """
+        self._ledger = ledger
+        for island in self.decomposition.islands:
+            buffers: List[Optional[ArrayRegion]] = []
+            for box in ledger.buffer_boxes[island.index]:
+                if box.is_empty():
+                    buffers.append(None)
+                else:
+                    buffers.append(
+                        ArrayRegion(np.empty(box.shape, dtype=self.dtype), box)
+                    )
+            self._stage_buffers[island.index] = buffers
+        self._prepare_stage_state()
+
+    def stage_buffer(
+        self, island_index: int, stage_index: int
+    ) -> Optional[ArrayRegion]:
+        """One island's persistent buffer for one stage's output."""
+        return self._stage_buffers[island_index][stage_index]
+
+    def stage_view(
+        self, island_index: int, stage_index: int
+    ) -> Optional[np.ndarray]:
+        """View of the slab one island *computes* for one stage.
+
+        This is where post-attempt fault corruption lands in exchange
+        mode — the freshly written points, not the received halo.
+        """
+        comp = self._ledger.compute_boxes[island_index][stage_index]
+        if comp.is_empty():
+            return None
+        return self._stage_buffers[island_index][stage_index].view(comp)
+
+    def execute_island_stage(
+        self,
+        island,
+        stage_index: int,
+        inputs: Mapping[str, ArrayRegion],
+    ) -> IslandResult:
+        """Compute one stage of one island into its stage buffer."""
+        comp = self._ledger.compute_boxes[island.index][stage_index]
+        if comp.is_empty():
+            return IslandResult()
+        return self._execute_stage(island, stage_index, inputs)
+
+    def _stage_inputs(
+        self,
+        island_index: int,
+        stage_index: int,
+        inputs: Mapping[str, ArrayRegion],
+    ) -> Dict[str, ArrayRegion]:
+        """Resolve one stage's reads: ghost inputs or earlier stage buffers."""
+        stage = self.program.stages[stage_index]
+        field_map = self.program.field_map
+        resolved: Dict[str, ArrayRegion] = {}
+        for name in stage.reads:
+            if field_map[name].is_input:
+                resolved[name] = inputs[name]
+            else:
+                producer = self.program.producer_of(name)
+                resolved[name] = self._stage_buffers[island_index][producer]
+        return resolved
+
+    def _stage_program(self, stage_index: int) -> StencilProgram:
+        """A one-stage program whose inputs are the stage's read fields."""
+        cached = self._stage_programs.get(stage_index)
+        if cached is None:
+            stage = self.program.stages[stage_index]
+            field_map = self.program.field_map
+            declared = tuple(
+                Field(name, FieldRole.INPUT, itemsize=field_map[name].itemsize)
+                for name in stage.reads
+            )
+            cached = StencilProgram.build(
+                f"{self.program.name}:{stage.name}",
+                declared,
+                (stage,),
+                (stage.output,),
+            )
+            self._stage_programs[stage_index] = cached
+        return cached
+
+    def _prepare_stage_state(self) -> None:
+        """Hook: build per-stage compute state once buffers exist."""
+
+    def _execute_stage(
+        self,
+        island,
+        stage_index: int,
+        inputs: Mapping[str, ArrayRegion],
+    ) -> IslandResult:
+        raise NotImplementedError
+
+    def _refresh_stage_state(self, island_index: int) -> None:
+        """Hook: replace one island's per-stage state before a retry."""
 
 
 class FlatInterpreterBackend(IslandBackend):
@@ -205,10 +340,44 @@ class FlatInterpreterBackend(IslandBackend):
             stage_seconds=stats.stage_seconds if self.timed else None,
         )
 
-    def refresh(self, island_index: int) -> None:
+    def _refresh_plan(self, island_index: int) -> None:
         if self.reuse_buffers:
             self._arenas[island_index] = StageArena(self.dtype)
             self._scratch[island_index] = EvalArena(self.dtype)
+
+    # -- stage-granular path (exchange / hybrid) ------------------------
+    def _prepare_stage_state(self) -> None:
+        self._stage_scratch: Dict[int, EvalArena] = {}
+        if self.reuse_buffers:
+            for island in self.decomposition.islands:
+                self._stage_scratch[island.index] = EvalArena(self.dtype)
+
+    def _execute_stage(self, island, stage_index, inputs) -> IslandResult:
+        stage = self.program.stages[stage_index]
+        comp = self._ledger.compute_boxes[island.index][stage_index]
+        out_view = self._stage_buffers[island.index][stage_index].view(comp)
+        resolved = self._stage_inputs(island.index, stage_index, inputs)
+
+        def resolve(field_name: str, offset) -> np.ndarray:
+            return resolved[field_name].view(comp.shift(offset))
+
+        scratch = self._stage_scratch.get(island.index)
+        if scratch is None:
+            scratch = EvalArena(self.dtype)
+        before = (scratch.allocations, scratch.reuses)
+        start = perf_counter() if self.timed else 0.0
+        stage.expr.evaluate(resolve, out=out_view, scratch=scratch)
+        result = IslandResult(
+            scratch_allocations=scratch.allocations - before[0],
+            reused=scratch.reuses - before[1],
+        )
+        if self.timed:
+            result.stage_seconds = {stage.name: perf_counter() - start}
+        return result
+
+    def _refresh_stage_state(self, island_index: int) -> None:
+        if self.reuse_buffers:
+            self._stage_scratch[island_index] = EvalArena(self.dtype)
 
 
 class CompiledBackend(IslandBackend):
@@ -252,10 +421,61 @@ class CompiledBackend(IslandBackend):
             )
         return result
 
-    def refresh(self, island_index: int) -> None:
+    def _refresh_plan(self, island_index: int) -> None:
         compiled = self.plans[island_index]
         if compiled.persistent:
             compiled.persistent = True  # installs a fresh Workspace
+
+    # -- stage-granular path (exchange / hybrid) ------------------------
+    def _prepare_stage_state(self) -> None:
+        from ..stencil import compile_plan
+
+        self._stage_plans: Dict[Tuple[int, int], object] = {}
+        for island in self.decomposition.islands:
+            q = island.index
+            for s, stage in enumerate(self.program.stages):
+                comp = self._ledger.compute_boxes[q][s]
+                if comp.is_empty():
+                    continue
+                sub = self._stage_program(s)
+                compiled = compile_plan(
+                    sub,
+                    required_regions(sub, comp),
+                    dtype=self.dtype,
+                    reuse_buffers=True,
+                    timed=self.timed,
+                )
+                compiled.workspace.bind_out(
+                    stage.output, self._stage_buffers[q][s].view(comp)
+                )
+                self._stage_plans[(q, s)] = compiled
+
+    def _execute_stage(self, island, stage_index, inputs) -> IslandResult:
+        compiled = self._stage_plans[(island.index, stage_index)]
+        workspace = compiled.workspace
+        before = (workspace.allocations, workspace.reuses)
+        stage_before = compiled.stage_seconds if self.timed else None
+        compiled(self._stage_inputs(island.index, stage_index, inputs))
+        result = IslandResult(
+            stage_allocations=workspace.allocations - before[0],
+            reused=workspace.reuses - before[1],
+        )
+        if self.timed:
+            result.stage_seconds = stage_delta(
+                compiled.stage_seconds, stage_before
+            )
+        return result
+
+    def _refresh_stage_state(self, island_index: int) -> None:
+        for (q, s), compiled in self._stage_plans.items():
+            if q != island_index:
+                continue
+            compiled.persistent = True  # installs a fresh Workspace
+            comp = self._ledger.compute_boxes[q][s]
+            compiled.workspace.bind_out(
+                self.program.stages[s].output,
+                self._stage_buffers[q][s].view(comp),
+            )
 
 
 class TiledBackend(IslandBackend):
@@ -347,12 +567,97 @@ class TiledBackend(IslandBackend):
             )
         return result
 
-    def refresh(self, island_index: int) -> None:
+    def _refresh_plan(self, island_index: int) -> None:
         self.plans[island_index].refresh_workspaces()
 
     def close(self) -> None:
         for plan in self.plans.values():
             plan.close()
+
+    # -- stage-granular path (exchange / hybrid) ------------------------
+    # Each stage's owned slab is covered by cache-sized blocks, each with
+    # its own compiled one-stage step writing straight into the island's
+    # persistent stage buffer.  Blocks are swept serially: exchange mode
+    # already barriers per stage, so the (3+1)D depth dimension collapses
+    # to single-stage sweeps and only the cache blocking remains.
+    def _prepare_stage_state(self) -> None:
+        from ..stencil import compile_plan
+
+        self._stage_plans: Dict[Tuple[int, int], Tuple[object, ...]] = {}
+        for island in self.decomposition.islands:
+            q = island.index
+            for s, stage in enumerate(self.program.stages):
+                comp = self._ledger.compute_boxes[q][s]
+                if comp.is_empty():
+                    continue
+                sub = self._stage_program(s)
+                buffer = self._stage_buffers[q][s]
+                compiled_blocks = []
+                for block in _grid_boxes(comp, self.block_shape):
+                    compiled = compile_plan(
+                        sub,
+                        required_regions(sub, block),
+                        dtype=self.dtype,
+                        reuse_buffers=True,
+                        timed=self.timed,
+                    )
+                    compiled.workspace.bind_out(
+                        stage.output, buffer.view(block)
+                    )
+                    compiled_blocks.append((block, compiled))
+                self._stage_plans[(q, s)] = tuple(compiled_blocks)
+
+    def _execute_stage(self, island, stage_index, inputs) -> IslandResult:
+        stage = self.program.stages[stage_index]
+        resolved = self._stage_inputs(island.index, stage_index, inputs)
+        result = IslandResult()
+        block_seconds = [] if self.timed else None
+        total = 0.0
+        for _block, compiled in self._stage_plans[(island.index, stage_index)]:
+            workspace = compiled.workspace
+            before = (workspace.allocations, workspace.reuses)
+            start = perf_counter() if self.timed else 0.0
+            compiled(resolved)
+            if self.timed:
+                elapsed = perf_counter() - start
+                block_seconds.append(elapsed)
+                total += elapsed
+            result.stage_allocations += workspace.allocations - before[0]
+            result.reused += workspace.reuses - before[1]
+        if self.timed:
+            result.block_seconds = tuple(block_seconds)
+            result.stage_seconds = {stage.name: total}
+        return result
+
+    def _refresh_stage_state(self, island_index: int) -> None:
+        for (q, s), compiled_blocks in self._stage_plans.items():
+            if q != island_index:
+                continue
+            buffer = self._stage_buffers[q][s]
+            for block, compiled in compiled_blocks:
+                compiled.persistent = True  # installs a fresh Workspace
+                compiled.workspace.bind_out(
+                    self.program.stages[s].output, buffer.view(block)
+                )
+
+
+def _grid_boxes(box: Box, block_shape: Tuple[int, int, int]) -> List[Box]:
+    """Cover ``box`` with a grid of blocks of at most ``block_shape``."""
+    ranges = []
+    for axis in range(3):
+        axis_ranges = []
+        lo = box.lo[axis]
+        while lo < box.hi[axis]:
+            hi = min(lo + block_shape[axis], box.hi[axis])
+            axis_ranges.append((lo, hi))
+            lo = hi
+        ranges.append(axis_ranges)
+    return [
+        Box((i0, j0, k0), (i1, j1, k1))
+        for i0, i1 in ranges[0]
+        for j0, j1 in ranges[1]
+        for k0, k1 in ranges[2]
+    ]
 
 
 BACKENDS: Dict[str, Type[IslandBackend]] = {
@@ -368,8 +673,14 @@ def create_backend(
     *,
     clip_domain: Box,
     output_field: str,
+    ledger: Optional[HaloLedger] = None,
 ) -> IslandBackend:
-    """Instantiate and prepare the backend ``config.backend`` names."""
+    """Instantiate and prepare the backend ``config.backend`` names.
+
+    With a non-recompute ``ledger`` the backend is prepared for
+    stage-granular execution (:meth:`IslandBackend.prepare_exchange`)
+    instead of whole-step island sweeps.
+    """
     try:
         backend_cls = BACKENDS[config.backend]
     except KeyError:
@@ -384,5 +695,8 @@ def create_backend(
         clip_domain=clip_domain,
         output_field=output_field,
     )
-    backend.prepare()
+    if ledger is not None and ledger.policy != "recompute":
+        backend.prepare_exchange(ledger)
+    else:
+        backend.prepare()
     return backend

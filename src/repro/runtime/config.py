@@ -26,6 +26,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
+from ..core.halo import HALO_POLICIES
 from ..mpdata.boundary import BOUNDARY_MODES
 from .faults import FaultInjector, parse_fault_spec
 
@@ -95,6 +96,16 @@ class EngineConfig:
     collect_timings:
         Record per-island / per-block / per-stage wall times into each
         step's :class:`~repro.runtime.telemetry.StepTimings`.
+    halo:
+        Inter-island halo policy: ``"recompute"`` (scenario 2 — each
+        island redundantly computes its transitive halo, one sync per
+        step), ``"exchange"`` (scenario 1 — owned slabs only, boundary
+        copies and a barrier after every stage) or ``"hybrid"``
+        (exchange-vs-recompute chosen per island boundary from
+        ``halo_threshold``).
+    halo_threshold:
+        Hybrid policy only: island boundaries shipping more than this
+        many points per step are recomputed instead of exchanged.
     """
 
     backend: str = "interpreter"
@@ -109,6 +120,8 @@ class EngineConfig:
     retry_backoff: float = 0.0
     fault_specs: Tuple[str, ...] = ()
     collect_timings: bool = False
+    halo: str = "recompute"
+    halo_threshold: Optional[int] = None
 
     def __post_init__(self) -> None:
         # Normalize (object.__setattr__: the dataclass is frozen) so two
@@ -162,6 +175,24 @@ class EngineConfig:
             )
         for spec in self.fault_specs:
             parse_fault_spec(spec)  # raises ValueError on a malformed spec
+        if self.halo not in HALO_POLICIES:
+            raise ValueError(
+                f"unknown halo policy {self.halo!r}; known: "
+                f"{', '.join(HALO_POLICIES)}"
+            )
+        if self.halo_threshold is not None:
+            object.__setattr__(self, "halo_threshold", int(self.halo_threshold))
+        if self.halo == "hybrid":
+            if self.halo_threshold is None or self.halo_threshold < 0:
+                raise ValueError(
+                    "the hybrid halo policy requires a non-negative "
+                    "halo_threshold (shipped points per boundary per step)"
+                )
+        elif self.halo_threshold is not None:
+            raise ValueError(
+                f"halo_threshold is a hybrid-policy option; got "
+                f"halo={self.halo!r}"
+            )
 
     # ------------------------------------------------------------------
     # Derived values
@@ -196,6 +227,8 @@ class EngineConfig:
             "retry_backoff": self.retry_backoff,
             "fault_specs": list(self.fault_specs),
             "collect_timings": self.collect_timings,
+            "halo": self.halo,
+            "halo_threshold": self.halo_threshold,
         }
 
     @classmethod
@@ -272,6 +305,8 @@ class EngineConfig:
             max_retries=getattr(args, "retries", 0) if faulty else 0,
             fault_specs=tuple(getattr(args, "faults", None) or ()),
             collect_timings=getattr(args, "timings", False),
+            halo=getattr(args, "halo", "recompute") or "recompute",
+            halo_threshold=getattr(args, "halo_threshold", None),
         )
 
     @classmethod

@@ -42,7 +42,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
 
@@ -69,6 +69,21 @@ __all__ = [
     "MpdataIslandSolver",
     "StepStats",
 ]
+
+
+def _merge_result(into: IslandResult, add: IslandResult) -> IslandResult:
+    """Accumulate one island's per-stage results into its step total."""
+    into.stage_allocations += add.stage_allocations
+    into.scratch_allocations += add.scratch_allocations
+    into.reused += add.reused
+    into.seconds += add.seconds
+    into.block_seconds = tuple(into.block_seconds) + tuple(add.block_seconds)
+    if add.stage_seconds:
+        merged = dict(into.stage_seconds or {})
+        for name, seconds in add.stage_seconds.items():
+            merged[name] = merged.get(name, 0.0) + seconds
+        into.stage_seconds = merged
+    return into
 
 
 class PartitionedRunner:
@@ -141,6 +156,8 @@ class PartitionedRunner:
         self.block_shape = config.block_shape
         self.intra_threads = config.intra_threads
         self.collect_timings = config.collect_timings
+        self.halo = config.halo
+        self.halo_threshold = config.halo_threshold
         self.fault_injector = (
             fault_injector
             if fault_injector is not None
@@ -162,12 +179,20 @@ class PartitionedRunner:
             clip_domain=self.extended_domain,
             partition=partition,
         )
+        # One halo ledger per runner, always built: under ``recompute`` it
+        # only carries the accounting (redundant points, zero flows); under
+        # ``exchange``/``hybrid`` it is the executable stage geometry the
+        # backend and the per-stage copy loop both follow.
+        self.halo_ledger = self.decomposition.halo_ledger(
+            config.halo, config.halo_threshold
+        )
         self.backend = create_backend(
             config,
             program,
             self.decomposition,
             clip_domain=self.extended_domain,
             output_field=self.output_field,
+            ledger=self.halo_ledger,
         )
         self.resilience = ResilientExecutor(
             self.backend,
@@ -312,6 +337,116 @@ class PartitionedRunner:
             self._out = None
             out.fill(np.nan)
 
+    def _fan_out(
+        self, count: int, task: Callable[[int], None]
+    ) -> List[BaseException]:
+        """Run ``task(0..count-1)`` across the island work team.
+
+        Serial when the team has one thread (or after degradation);
+        threaded otherwise, with the pool-breakage degradation path: a
+        broken pool flips the runner to serial in-process execution and
+        reruns every position.  Tasks that did get submitted must finish
+        (or be cancelled) first — the serial rerun may not race a live
+        worker for the same island's resources.  Re-running a completed
+        position is harmless: identical inputs rewrite identical bytes.
+        """
+        errors: List[BaseException] = []
+        if self.threads == 1 or count == 1 or self._degraded:
+            for position in range(count):
+                try:
+                    task(position)
+                except Exception as error:
+                    errors.append(error)
+                    break  # the step is lost; don't compute the rest
+            return errors
+        futures = []
+        try:
+            executor = self._executor()
+            for position in range(count):
+                futures.append(executor.submit(task, position))
+        except RuntimeError:
+            if self._closed:
+                raise
+            self._degraded = True
+            for future in futures:
+                future.cancel()
+            for future in futures:
+                if not future.cancelled():
+                    try:
+                        future.result()
+                    except Exception:
+                        pass  # the serial rerun decides the outcome
+            for position in range(count):
+                try:
+                    task(position)
+                except Exception as error:
+                    errors.append(error)
+                    break
+        else:
+            # Collect every position's outcome; one failure must not
+            # leave siblings half-cancelled with buffers in flight.
+            for future in futures:
+                try:
+                    future.result()
+                except Exception as error:
+                    errors.append(error)
+        return errors
+
+    def _run_exchange_stages(
+        self,
+        inputs: Mapping[str, ArrayRegion],
+        out: np.ndarray,
+        step_index: int,
+        island_results: List[Optional[IslandResult]],
+        fault_slot: Callable[[int], FaultStats],
+        errors: List[BaseException],
+    ) -> Tuple[int, int]:
+        """One scenario-1 step: per stage, compute owned slabs, copy halos.
+
+        Every active stage is one fan-out over all islands (each computes
+        its ledger slab into its persistent stage buffer), followed by a
+        barrier — the fan-out joins every island before the boundary
+        copies run — and the stage's :class:`~repro.core.halo.StageFlow`
+        copies between island buffers.  Returns the measured
+        ``(exchanged_bytes, stage_syncs)`` of the step.
+        """
+        islands = self.decomposition.islands
+        ledger = self.halo_ledger
+        itemsize = self.dtype.itemsize
+        exchanged_bytes = 0
+        stage_syncs = 0
+
+        for stage_index in ledger.active_stages:
+
+            def run_stage(position: int, _stage: int = stage_index) -> None:
+                result = self.resilience.run_island_stage(
+                    islands[position],
+                    _stage,
+                    step_index,
+                    inputs,
+                    lambda: fault_slot(position),
+                )
+                merged = island_results[position]
+                island_results[position] = (
+                    result if merged is None else _merge_result(merged, result)
+                )
+
+            errors.extend(self._fan_out(len(islands), run_stage))
+            stage_syncs += 1
+            if errors:
+                return exchanged_bytes, stage_syncs
+            for flow in ledger.stage_flows[stage_index]:
+                src = self.backend.stage_buffer(flow.src, stage_index)
+                dst = self.backend.stage_buffer(flow.dst, stage_index)
+                dst.view(flow.box)[...] = src.view(flow.box)
+                exchanged_bytes += flow.box.size * itemsize
+
+        producer = self.program.producer_of(self.output_field)
+        for island in islands:
+            buffer = self.backend.stage_buffer(island.index, producer)
+            out[island.part.slices()] = buffer.view(island.part)
+        return exchanged_bytes, stage_syncs
+
     def step(
         self,
         arrays: Mapping[str, np.ndarray],
@@ -362,10 +497,9 @@ class PartitionedRunner:
                 stats = island_faults[position] = FaultStats()
             return stats
 
-        def run_island(position_island: Tuple[int, object]) -> None:
-            position, island = position_island
+        def run_island(position: int) -> None:
             island_results[position] = self.resilience.run_island(
-                island,
+                islands[position],
                 step_index,
                 inputs,
                 out,
@@ -373,53 +507,15 @@ class PartitionedRunner:
             )
 
         errors: List[BaseException] = []
+        exchanged_bytes = 0
+        stage_syncs = 1  # recompute: one synchronization per step
         try:
-            if self.threads == 1 or len(islands) == 1 or self._degraded:
-                for item in enumerate(islands):
-                    try:
-                        run_island(item)
-                    except Exception as error:
-                        errors.append(error)
-                        break  # the step is lost; don't compute the rest
+            if self.halo_ledger.policy != "recompute":
+                exchanged_bytes, stage_syncs = self._run_exchange_stages(
+                    inputs, out, step_index, island_results, fault_slot, errors
+                )
             else:
-                futures = []
-                try:
-                    executor = self._executor()
-                    for item in enumerate(islands):
-                        futures.append(executor.submit(run_island, item))
-                except RuntimeError:
-                    if self._closed:
-                        raise
-                    # The pool itself is broken (not a deliberate close):
-                    # degrade to serial in-process execution and carry on.
-                    # Tasks that did get submitted must finish (or be
-                    # cancelled) first — the serial rerun may not race a
-                    # live worker for the same island's arena.  Re-running
-                    # a completed island is harmless: identical inputs
-                    # rewrite identical bytes.
-                    self._degraded = True
-                    for future in futures:
-                        future.cancel()
-                    for future in futures:
-                        if not future.cancelled():
-                            try:
-                                future.result()
-                            except Exception:
-                                pass  # the serial rerun decides the outcome
-                    for item in enumerate(islands):
-                        try:
-                            run_island(item)
-                        except Exception as error:
-                            errors.append(error)
-                            break
-                else:
-                    # Collect every island's outcome; one failure must not
-                    # leave siblings half-cancelled with buffers in flight.
-                    for future in futures:
-                        try:
-                            future.result()
-                        except Exception as error:
-                            errors.append(error)
+                errors.extend(self._fan_out(len(islands), run_island))
         finally:
             for stats in island_faults:
                 if stats is not None:
@@ -458,6 +554,9 @@ class PartitionedRunner:
             output_allocations=output_allocations,
             stage_allocations=stage_allocations,
             scratch_allocations=scratch_allocations,
+            exchanged_bytes=exchanged_bytes,
+            stage_syncs=stage_syncs,
+            redundant_points=self.halo_ledger.redundant_points,
             timings=timings,
         )
         self._step_index = step_index + 1
@@ -496,6 +595,7 @@ class MpdataIslandSolver:
         variant: Variant = Variant.A,
         config: Optional[EngineConfig] = None,
         *,
+        partition: Optional[Partition] = None,
         program: Optional[StencilProgram] = None,
         fault_injector: Optional[FaultInjector] = None,
         telemetry: Optional[Telemetry] = None,
@@ -508,6 +608,7 @@ class MpdataIslandSolver:
             shape,
             islands=islands,
             variant=variant,
+            partition=partition,
             config=config,
             fault_injector=fault_injector,
             telemetry=telemetry,

@@ -134,15 +134,42 @@ class ResilientExecutor:
             apply_post_faults(fired, fault_stats(), out[island.part.slices()])
         return result
 
-    def run_island(
+    def _attempt_stage(
+        self,
+        island,
+        stage_index: int,
+        step_index: int,
+        attempt: int,
+        inputs: Mapping[str, object],
+        fault_stats: Callable[[], FaultStats],
+    ) -> IslandResult:
+        fired = (
+            self.injector.fire(step_index, island.index)
+            if self.injector is not None
+            else ()
+        )
+        if fired:
+            apply_pre_faults(
+                fired, fault_stats(), island.index, step_index, attempt
+            )
+        begin = time.perf_counter() if self.backend.timed else 0.0
+        result = self.backend.execute_island_stage(island, stage_index, inputs)
+        if self.backend.timed:
+            result.seconds = time.perf_counter() - begin
+        if fired:
+            view = self.backend.stage_view(island.index, stage_index)
+            if view is not None:
+                apply_post_faults(fired, fault_stats(), view)
+        return result
+
+    def _with_retries(
         self,
         island,
         step_index: int,
-        inputs: Mapping[str, object],
-        out: np.ndarray,
+        attempt_fn: Callable[[int], IslandResult],
         fault_stats: Callable[[], FaultStats],
     ) -> IslandResult:
-        """One island's step: attempt, retry within budget, or raise.
+        """The retry loop: attempt, retry within budget, or raise.
 
         Each retry runs on fresh backend resources — a task that died
         mid-execution leaves its arena or workspace bookkeeping
@@ -153,9 +180,7 @@ class ResilientExecutor:
         attempt = 0
         while True:
             try:
-                result = self._attempt(
-                    island, step_index, attempt, inputs, out, fault_stats
-                )
+                result = attempt_fn(attempt)
             except Exception as error:
                 attempt += 1
                 if attempt > self.policy.max_retries:
@@ -173,3 +198,45 @@ class ResilientExecutor:
                 if attempt:
                     fault_stats().retry_successes += 1
                 return result
+
+    def run_island(
+        self,
+        island,
+        step_index: int,
+        inputs: Mapping[str, object],
+        out: np.ndarray,
+        fault_stats: Callable[[], FaultStats],
+    ) -> IslandResult:
+        """One island's whole step (recompute policy), retried in place."""
+        return self._with_retries(
+            island,
+            step_index,
+            lambda attempt: self._attempt(
+                island, step_index, attempt, inputs, out, fault_stats
+            ),
+            fault_stats,
+        )
+
+    def run_island_stage(
+        self,
+        island,
+        stage_index: int,
+        step_index: int,
+        inputs: Mapping[str, object],
+        fault_stats: Callable[[], FaultStats],
+    ) -> IslandResult:
+        """One island's single stage (exchange policy), retried in place.
+
+        The retry replays only the failed stage: earlier stage buffers —
+        including halo planes received from neighbours — are persistent
+        backend state and remain valid, so the stage-granular retry keeps
+        the same isolation the whole-step retry has under recompute.
+        """
+        return self._with_retries(
+            island,
+            step_index,
+            lambda attempt: self._attempt_stage(
+                island, stage_index, step_index, attempt, inputs, fault_stats
+            ),
+            fault_stats,
+        )

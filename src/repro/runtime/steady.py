@@ -22,8 +22,10 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..core import Variant, partition_grid_2d
 from ..mpdata.fields import random_state
 from ..mpdata.stages import FIELD_X
+from ..stencil import full_box
 from .config import EngineConfig
 from .island_exec import MpdataIslandSolver
 from .telemetry import InMemorySink, JsonlSink, Telemetry
@@ -46,8 +48,10 @@ class SteadyStateReport:
     steps: int
     compiled: bool
     bit_identical: bool
+    halo: str = "recompute"
     #: mode name -> {"step_time_s", "allocations_per_step", "reused_per_step",
-    #:               "warmup_allocations"}
+    #:               "warmup_allocations", "exchanged_bytes_per_step",
+    #:               "stage_syncs"}
     modes: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
@@ -74,6 +78,7 @@ class SteadyStateReport:
             "steps": self.steps,
             "compiled": self.compiled,
             "bit_identical": self.bit_identical,
+            "halo": self.halo,
             "modes": self.modes,
             "allocation_ratio": ratio if np.isfinite(ratio) else None,
             "speedup": self.speedup,
@@ -85,7 +90,8 @@ class SteadyStateReport:
             "Steady-state execution engine "
             f"({ni}x{nj}x{nk}, {self.islands} islands, "
             f"{self.threads} threads, {self.steps} steps, "
-            f"{'compiled' if self.compiled else 'interpreted'})",
+            f"{'compiled' if self.compiled else 'interpreted'}, "
+            f"halo {self.halo})",
             f"{'mode':<8} {'step time':>12} {'allocs/step':>12} "
             f"{'reused/step':>12} {'warm-up allocs':>15}",
         ]
@@ -104,6 +110,13 @@ class SteadyStateReport:
             f"speedup: {self.speedup:.2f}x,  "
             f"bit-identical: {self.bit_identical}"
         )
+        engine = self.modes.get("engine", {})
+        if engine.get("exchanged_bytes_per_step"):
+            lines.append(
+                f"halo exchange: "
+                f"{engine['exchanged_bytes_per_step'] / 1024:.1f} KiB/step, "
+                f"{engine['stage_syncs']:.0f} stage syncs/step"
+            )
         return "\n".join(lines)
 
 
@@ -133,6 +146,10 @@ def _run_mode(
         "allocations_per_step": sum(e.stats.allocations for e in timed) / steps,
         "reused_per_step": sum(e.stats.reused for e in timed) / steps,
         "warmup_allocations": float(warmup_allocations),
+        "exchanged_bytes_per_step": (
+            sum(e.stats.exchanged_bytes for e in timed) / steps
+        ),
+        "stage_syncs": sum(e.stats.stage_syncs for e in timed) / steps,
     }
     return np.array(arrays[FIELD_X], copy=True), numbers, elapsed
 
@@ -158,6 +175,10 @@ def measure_steady_state(
     seed: int = 0,
     state=None,
     telemetry_jsonl: Optional[str] = None,
+    halo: str = "recompute",
+    halo_threshold: Optional[int] = None,
+    variant: Variant = Variant.A,
+    partition_grid: Optional[Tuple[int, int]] = None,
 ) -> SteadyStateReport:
     """Measure naive vs engine stepping on one configuration.
 
@@ -165,14 +186,23 @@ def measure_steady_state(
     initial state (one warm-up step, then the timed steady-state window)
     and must produce bit-identical trajectories.  ``telemetry_jsonl``
     additionally streams the engine mode's per-step events to a JSON
-    Lines file.
+    Lines file.  ``halo`` selects the boundary policy (recompute /
+    exchange / hybrid); ``partition_grid=(pi, pj)`` decomposes over a 2D
+    island grid instead of 1D slabs (``variant`` must be ``GRID_2D``).
     """
     if state is None:
         state = random_state(shape, seed=seed)
+    partition = None
+    if partition_grid is not None:
+        pi, pj = partition_grid
+        partition = partition_grid_2d(full_box(shape), pi, pj)
+        islands = partition.count
     base = EngineConfig(
         backend="compiled" if compiled else "interpreter",
         boundary=boundary,
         threads=threads,
+        halo=halo,
+        halo_threshold=halo_threshold,
     )
     report = SteadyStateReport(
         shape=tuple(shape),
@@ -181,6 +211,7 @@ def measure_steady_state(
         steps=steps,
         compiled=compiled,
         bit_identical=False,
+        halo=halo,
     )
     results = {}
     for mode, reuse in (("naive", False), ("engine", True)):
@@ -192,6 +223,8 @@ def measure_steady_state(
             islands,
             config=replace(base, reuse_buffers=reuse, reuse_output=reuse),
             telemetry=telemetry,
+            variant=variant,
+            partition=partition,
         ) as solver:
             final, numbers, _ = _run_mode(solver, state, steps, sink)
         results[mode] = final

@@ -141,6 +141,13 @@ class StepStats:
     ``collect_timings``) attributes the step's wall time: per-island sweep
     times, per-block times inside tiled islands, and per-stage seconds —
     see :class:`StepTimings`.
+
+    The halo-policy counters make the paper's computation/communication
+    identity observable per run: ``exchanged_bytes`` is what this step
+    shipped between island buffers (0 under pure recompute),
+    ``stage_syncs`` how many inter-island barriers it took, and
+    ``redundant_points`` how many stage points were computed beyond the
+    once-per-point minimum (0 under pure exchange).
     """
 
     allocations: int
@@ -149,6 +156,9 @@ class StepStats:
     output_allocations: int = 0
     stage_allocations: int = 0
     scratch_allocations: int = 0
+    exchanged_bytes: int = 0
+    stage_syncs: int = 0
+    redundant_points: int = 0
     timings: Optional[StepTimings] = None
 
     def to_dict(self) -> Dict[str, object]:
@@ -160,6 +170,9 @@ class StepStats:
             "output_allocations": self.output_allocations,
             "stage_allocations": self.stage_allocations,
             "scratch_allocations": self.scratch_allocations,
+            "exchanged_bytes": self.exchanged_bytes,
+            "stage_syncs": self.stage_syncs,
+            "redundant_points": self.redundant_points,
             "timings": self.timings.to_dict() if self.timings else None,
         }
 

@@ -22,17 +22,15 @@ the Sect. 4.1 thought experiment into a full-application simulation.
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
-from ..core import Variant, partition_domain
+from ..core import Variant, build_halo_ledger, partition_domain
 from ..core.affinity import chain_placement
 from ..machine import CostModel, ExecutionPlan, MachineSpec, Phase, Transfer
 from ..stencil import (
     StencilProgram,
     full_box,
     program_arith_flops_per_point,
-    required_regions,
 )
 
 __all__ = ["build_exchange_plan"]
@@ -73,24 +71,12 @@ def build_exchange_plan(
     stage_count = len(program.stages)
 
     # For each stage, how many points of its output each island must
-    # receive from each other island: the stage's halo-plan compute box
-    # (clipped to the domain) minus the island's own slab, intersected with
-    # the owners' slabs.  In scenario 2 these points are recomputed; in
-    # scenario 1 they are transferred after the stage completes.
-    incoming: List[Dict[Tuple[int, int], int]] = [
-        defaultdict(int) for _ in range(stage_count)
-    ]
-    for island_index, part in enumerate(partition.parts):
-        plan = required_regions(program, part, domain=domain)
-        for stage_index, box in enumerate(plan.stage_boxes):
-            if box.is_empty():
-                continue
-            for owner_index, owner_part in enumerate(partition.parts):
-                if owner_index == island_index:
-                    continue
-                overlap = box.intersect(owner_part).size
-                if overlap > 0:
-                    incoming[stage_index][(owner_index, island_index)] += overlap
+    # receive from each other island.  In scenario 2 these points are
+    # recomputed; in scenario 1 they are transferred after the stage
+    # completes.  The halo ledger derives both from the one shared
+    # backward analysis — the paper's computation/communication identity.
+    ledger = build_halo_ledger(program, partition, policy="exchange")
+    incoming = [ledger.stage_pair_points(s) for s in range(stage_count)]
 
     phases = []
     for stage_index, stage in enumerate(program.stages):

@@ -21,7 +21,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..core import Variant, decompose
 from ..core.affinity import chain_placement
 from ..machine import CostModel, ExecutionPlan, MachineSpec, Phase, Transfer
-from ..stencil import Box, StencilProgram, full_box, plan_flops
+from ..stencil import StencilProgram, full_box, plan_flops
 
 __all__ = ["build_islands_plan"]
 

@@ -162,6 +162,22 @@ class Workspace:
         self.allocations += 1
         return array
 
+    def bind_out(self, name: str, array: np.ndarray) -> None:
+        """Pin stage field ``name``'s output slot to a caller-owned array.
+
+        The generated code then writes that stage directly into ``array``
+        (typically a view into a larger persistent buffer) instead of a
+        workspace-allocated one.  Bindings do not survive :meth:`reset` —
+        rebind after resetting (or after re-enabling persistence on the
+        owning plan).
+        """
+        if array.dtype != self.dtype:
+            raise ValueError(
+                f"bound output {name!r} has dtype {array.dtype}, workspace "
+                f"expects {self.dtype}"
+            )
+        self._outputs[name] = array
+
     def _slot(
         self,
         table: Dict[int, np.ndarray],

@@ -122,6 +122,35 @@ class Box:
         """True when the grid point lies inside the box."""
         return all(l <= p < h for l, p, h in zip(self.lo, point, self.hi))
 
+    def difference(self, other: "Box") -> Tuple["Box", ...]:
+        """Decompose ``self \\ other`` into disjoint boxes (at most six).
+
+        The pieces are axis-peeled slabs: below/above ``other`` along *i*,
+        then *j*, then *k*, each slab spanning the remaining extent of the
+        later axes.  Their union is exactly the set difference and no two
+        pieces overlap.
+        """
+        if self.is_empty():
+            return ()
+        inter = self.intersect(other)
+        if inter.is_empty():
+            return (self,)
+        pieces = []
+        lo = list(self.lo)
+        hi = list(self.hi)
+        for axis in range(3):
+            if lo[axis] < inter.lo[axis]:
+                piece_hi = list(hi)
+                piece_hi[axis] = inter.lo[axis]
+                pieces.append(Box(tuple(lo), tuple(piece_hi)))  # type: ignore[arg-type]
+                lo[axis] = inter.lo[axis]
+            if inter.hi[axis] < hi[axis]:
+                piece_lo = list(lo)
+                piece_lo[axis] = inter.hi[axis]
+                pieces.append(Box(tuple(piece_lo), tuple(hi)))  # type: ignore[arg-type]
+                hi[axis] = inter.hi[axis]
+        return tuple(pieces)
+
     # ------------------------------------------------------------------
     def slices(self, origin: Tuple[int, int, int] = (0, 0, 0)) -> Tuple[slice, slice, slice]:
         """NumPy index slices for this box inside an array whose element

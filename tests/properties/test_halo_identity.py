@@ -1,0 +1,110 @@
+"""Property tests of the computation/communication identity.
+
+Sect. 3.2 of the paper prices scenario 1 (ship boundary planes each
+stage) and scenario 2 (recompute the transitive halo) from the same
+backward analysis: *the points one ships are exactly the points the
+other duplicates*.  These properties check that identity for random
+stencil programs — analytically on the ledger, and end-to-end on the
+runner, where the telemetry's measured byte counter must equal the
+model's prediction while the two policies produce bit-identical output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Variant,
+    build_halo_ledger,
+    partition_domain,
+    partition_grid_2d,
+    redundancy_report,
+)
+from repro.runtime import EngineConfig, InMemorySink, PartitionedRunner, Telemetry
+from repro.stencil import full_box
+
+from .test_invariants import programs
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    program=programs(),
+    islands=st.integers(1, 4),
+    variant=st.sampled_from([Variant.A, Variant.B]),
+    shape=st.tuples(
+        st.integers(10, 18), st.integers(8, 14), st.integers(3, 6)
+    ),
+)
+def test_exchanged_points_equal_recomputed_extras(
+    program, islands, variant, shape
+):
+    """Ledger form of the identity, physical clip: what exchange ships ==
+    what recompute duplicates == Table 2's extra elements."""
+    partition = partition_domain(full_box(shape), islands, variant)
+    exchange = build_halo_ledger(program, partition, policy="exchange")
+    recompute = build_halo_ledger(program, partition, policy="recompute")
+    extras = redundancy_report(program, partition).extra_points
+    assert exchange.exchanged_points() == extras
+    assert recompute.redundant_points == extras
+    assert exchange.redundant_points == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    program=programs(),
+    grid=st.tuples(st.integers(1, 3), st.integers(1, 3)),
+)
+def test_identity_holds_on_2d_grids(program, grid):
+    partition = partition_grid_2d(full_box((14, 12, 4)), *grid)
+    exchange = build_halo_ledger(program, partition, policy="exchange")
+    extras = redundancy_report(program, partition).extra_points
+    assert exchange.exchanged_points() == extras
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    program=programs(),
+    islands=st.integers(2, 4),
+    variant=st.sampled_from([Variant.A, Variant.B]),
+    shape=st.tuples(
+        st.integers(10, 16), st.integers(8, 12), st.integers(3, 5)
+    ),
+    seed=st.integers(0, 1000),
+)
+def test_measured_bytes_match_the_model_and_output_is_bit_exact(
+    program, islands, variant, shape, seed
+):
+    """Runner form of the identity: the telemetry byte counter under
+    ``halo="exchange"`` equals the model's predicted shipped volume (over
+    the runner's ghost-extended domain, where the prediction is the
+    recompute ledger's redundant points), and the trajectory matches
+    recompute bit-for-bit."""
+    rng = np.random.default_rng(seed)
+    arrays = {
+        "x0": rng.standard_normal(shape),
+        "x1": rng.standard_normal(shape),
+    }
+    with PartitionedRunner(
+        program, shape, islands=islands, variant=variant
+    ) as recompute_runner:
+        expected = np.array(recompute_runner.step(arrays), copy=True)
+        predicted = (
+            recompute_runner.decomposition.halo_ledger("recompute").redundant_points
+            * recompute_runner.dtype.itemsize
+        )
+    sink = InMemorySink()
+    with PartitionedRunner(
+        program,
+        shape,
+        islands=islands,
+        variant=variant,
+        config=EngineConfig(halo="exchange"),
+        telemetry=Telemetry([sink]),
+    ) as exchange_runner:
+        result = exchange_runner.step(arrays)
+        ledger = exchange_runner.halo_ledger
+        np.testing.assert_array_equal(result, expected)
+    measured = sink.events[-1].stats.exchanged_bytes
+    assert measured == ledger.exchanged_bytes(exchange_runner.dtype.itemsize)
+    assert measured == predicted

@@ -1,0 +1,232 @@
+"""The stage-granular halo-exchange execution path.
+
+The acceptance bar for the pluggable halo layer: every backend, under
+every policy, reproduces the recompute trajectory bit-for-bit over long
+runs; the steady-state engine still allocates nothing per step; the
+telemetry counters match the ledger's analytic accounting; and a failed
+stage is retried in place without corrupting already-received halos.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Variant, build_halo_ledger, partition_grid_2d
+from repro.mpdata import mpdata_program, random_state
+from repro.mpdata.stages import FIELD_X
+from repro.runtime import (
+    EngineConfig,
+    InMemorySink,
+    MpdataIslandSolver,
+    Telemetry,
+)
+from repro.stencil import full_box
+
+SHAPE = (20, 14, 8)
+ISLANDS = 3
+
+
+def _run(config, steps, shape=SHAPE, islands=ISLANDS, sink=None, **kwargs):
+    state = random_state(shape, seed=2017)
+    telemetry = Telemetry([sink]) if sink is not None else None
+    with MpdataIslandSolver(
+        shape, islands, config=config, telemetry=telemetry, **kwargs
+    ) as solver:
+        return np.array(solver.run(state, steps), copy=True)
+
+
+@pytest.fixture(scope="module")
+def reference_50():
+    """Fault-free recompute interpreter trajectory, 50 steps."""
+    return _run(EngineConfig(), steps=50)
+
+
+class TestBitIdentity:
+    """Acceptance: 50-step trajectories agree across every backend and
+    policy — exchanged halos carry exactly the recomputed values."""
+
+    @pytest.mark.parametrize("backend", ("interpreter", "compiled", "tiled"))
+    @pytest.mark.parametrize(
+        "halo,threshold",
+        [("recompute", None), ("exchange", None), ("hybrid", 600)],
+    )
+    def test_backend_policy_matrix(self, reference_50, backend, halo, threshold):
+        config = EngineConfig(
+            backend=backend,
+            halo=halo,
+            halo_threshold=threshold,
+            block_shape=(8, 8, 8) if backend == "tiled" else None,
+        )
+        np.testing.assert_array_equal(_run(config, steps=50), reference_50)
+
+    def test_threaded_exchange_matches_serial(self, reference_50):
+        config = EngineConfig(halo="exchange", threads=3)
+        np.testing.assert_array_equal(_run(config, steps=50), reference_50)
+
+    def test_2d_grid_exchange_matches_whole_domain(self):
+        state = random_state(SHAPE, seed=7)
+        partition = partition_grid_2d(full_box(SHAPE), 2, 2)
+        with MpdataIslandSolver(SHAPE, 1, config=EngineConfig()) as whole:
+            expected = np.array(whole.run(state, 10), copy=True)
+        config = EngineConfig(halo="exchange")
+        with MpdataIslandSolver(
+            SHAPE,
+            partition.count,
+            config=config,
+            variant=Variant.GRID_2D,
+            partition=partition,
+        ) as split:
+            np.testing.assert_array_equal(split.run(state, 10), expected)
+
+
+class TestSteadyState:
+    @pytest.mark.parametrize("backend", ("interpreter", "compiled", "tiled"))
+    def test_zero_allocations_per_step_under_exchange(self, backend):
+        config = EngineConfig(
+            backend=backend,
+            halo="exchange",
+            reuse_buffers=True,
+            reuse_output=True,
+            block_shape=(8, 8, 8) if backend == "tiled" else None,
+        )
+        state = random_state(SHAPE, seed=3)
+        with MpdataIslandSolver(SHAPE, ISLANDS, config=config) as solver:
+            arrays = solver._arrays(state)
+            arrays[FIELD_X] = solver.runner.step(arrays)  # warm-up
+            for _ in range(3):
+                arrays[FIELD_X] = solver.runner.step(
+                    arrays, changed={FIELD_X}
+                )
+                assert solver.runner.last_step_stats.allocations == 0
+
+
+class TestTelemetryCounters:
+    def test_exchange_counters_match_the_ledger(self):
+        sink = InMemorySink()
+        config = EngineConfig(halo="exchange")
+        _run(config, steps=4, sink=sink)
+        with MpdataIslandSolver(SHAPE, ISLANDS, config=config) as solver:
+            ledger = solver.runner.halo_ledger
+            itemsize = solver.runner.dtype.itemsize
+        assert ledger.exchanged_points() > 0
+        for event in sink.events:
+            assert event.stats.exchanged_bytes == ledger.exchanged_bytes(itemsize)
+            assert event.stats.stage_syncs == ledger.step_syncs
+            assert event.stats.redundant_points == ledger.redundant_points == 0
+
+    def test_recompute_counters(self):
+        sink = InMemorySink()
+        _run(EngineConfig(), steps=2, sink=sink)
+        for event in sink.events:
+            assert event.stats.exchanged_bytes == 0
+            assert event.stats.stage_syncs == 1
+            assert event.stats.redundant_points > 0
+
+    def test_pinned_config_matches_the_analytic_model(self):
+        """Measured bytes on the wire == the model's predicted shipped
+        volume: over the runner's ghost-extended domain, the points
+        exchange ships are exactly the points recompute duplicates (the
+        Sect. 3.2 identity; its physical-domain form — equality with
+        Table 2's extra elements — is pinned in the core ledger tests)."""
+        sink = InMemorySink()
+        config = EngineConfig(halo="exchange")
+        _run(config, steps=1, sink=sink)
+        with MpdataIslandSolver(SHAPE, ISLANDS, config=config) as solver:
+            exchange = solver.runner.halo_ledger
+            recompute = solver.runner.decomposition.halo_ledger("recompute")
+            itemsize = solver.runner.dtype.itemsize
+        measured = sink.events[-1].stats.exchanged_bytes
+        assert measured == exchange.exchanged_bytes(itemsize)
+        assert measured == recompute.redundant_points * itemsize
+
+    def test_hybrid_counters_sit_between_the_pure_policies(self):
+        from repro.core import partition_domain
+
+        sink = InMemorySink()
+        config = EngineConfig(halo="hybrid", halo_threshold=600)
+        _run(config, steps=1, sink=sink)
+        stats = sink.events[-1].stats
+        exchange = build_halo_ledger(
+            mpdata_program(),
+            partition_domain(full_box(SHAPE), ISLANDS, Variant.A),
+            policy="exchange",
+        )
+        assert exchange.exchanged_points() > 0
+        assert stats.exchanged_bytes + stats.redundant_points > 0
+
+
+class TestFaultsUnderExchange:
+    @pytest.mark.parametrize(
+        "spec",
+        (
+            "corrupt@island=1,step=2",
+            "crash@island=0,step=1,attempts=1",
+            "slow@island=2,step=3,delay=0.001",
+        ),
+    )
+    def test_injected_faults_are_healed_stage_locally(self, reference_50, spec):
+        """A fault fired during a stage is retried at stage granularity;
+        the healed run is still bit-identical to the fault-free one."""
+        config = EngineConfig(halo="exchange", fault_specs=(spec,), max_retries=2)
+        result = _run(config, steps=50)
+        np.testing.assert_array_equal(result, reference_50)
+
+    def test_fault_stats_record_stage_retries(self):
+        config = EngineConfig(
+            halo="exchange",
+            fault_specs=("crash@island=1,step=2,attempts=1",),
+            max_retries=2,
+        )
+        state = random_state(SHAPE, seed=2017)
+        with MpdataIslandSolver(SHAPE, ISLANDS, config=config) as solver:
+            solver.run(state, 4)
+            stats = solver.runner.fault_stats
+        assert stats.injected_crashes >= 1
+        assert stats.retries >= 1
+        assert stats.retry_successes >= 1
+        assert stats.islands_failed == 0
+
+
+class TestConfigSurface:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown halo policy"):
+            EngineConfig(halo="mpi")
+
+    def test_hybrid_requires_threshold(self):
+        with pytest.raises(ValueError, match="halo_threshold"):
+            EngineConfig(halo="hybrid")
+
+    def test_threshold_requires_hybrid(self):
+        with pytest.raises(ValueError, match="hybrid-policy option"):
+            EngineConfig(halo="exchange", halo_threshold=100)
+
+    def test_round_trip_preserves_halo(self):
+        config = EngineConfig(halo="hybrid", halo_threshold=250)
+        data = config.to_dict()
+        assert data["halo"] == "hybrid"
+        assert data["halo_threshold"] == 250
+        assert EngineConfig.from_dict(data) == config
+
+    def test_runner_mirrors_halo_config(self):
+        config = EngineConfig(halo="exchange")
+        with MpdataIslandSolver(SHAPE, ISLANDS, config=config) as solver:
+            assert solver.runner.halo == "exchange"
+            assert solver.runner.halo_ledger.policy == "exchange"
+
+
+class TestSteadyReport:
+    def test_measure_steady_state_reports_exchange(self):
+        from repro.runtime import measure_steady_state
+
+        report = measure_steady_state(
+            shape=SHAPE, steps=2, islands=ISLANDS, halo="exchange"
+        )
+        assert report.bit_identical
+        assert report.halo == "exchange"
+        engine = report.modes["engine"]
+        assert engine["exchanged_bytes_per_step"] > 0
+        assert engine["stage_syncs"] > 1
+        assert engine["allocations_per_step"] == 0
+        assert "halo exchange:" in report.render()
+        assert report.to_dict()["halo"] == "exchange"
