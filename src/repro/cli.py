@@ -110,6 +110,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     engine.add_argument("--threads", type=int, default=1)
     engine.add_argument("--compiled", action="store_true")
+    engine.add_argument(
+        "--backend", choices=("interpreter", "compiled", "tiled", "procs"),
+        default=None,
+        help="explicit execution backend (default: from --compiled/--tiled); "
+        "procs runs each island in a persistent worker process over "
+        "shared memory",
+    )
+    procs = engine.add_argument_group(
+        "procs backend",
+        "true multi-core islands: persistent worker processes over "
+        "shared-memory arenas (--backend procs)",
+    )
+    procs.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker process count (default: one per island; fewer "
+        "multiplex islands round-robin)",
+    )
+    procs.add_argument(
+        "--pin-workers", action="store_true",
+        help="pin each worker process to one CPU (sched_setaffinity)",
+    )
     halo = engine.add_argument_group(
         "halo policy",
         "how island boundaries are satisfied each step: recompute the "
@@ -414,6 +435,27 @@ def _validate_engine_args(parser, args) -> None:
         parser.error("--threads must be at least 1")
     if args.intra_threads < 1:
         parser.error("--intra-threads must be at least 1")
+    if args.backend == "tiled" and not tiled_flags:
+        parser.error(
+            "--backend tiled runs the tiled comparison; use --tiled "
+            "(optionally with --block-shape/--autotune-blocks) instead"
+        )
+    if args.backend is not None and args.backend not in (
+        "tiled",
+    ) and tiled_flags:
+        parser.error(
+            f"--backend {args.backend} contradicts the "
+            "--tiled/--block-shape/--autotune-blocks flags"
+        )
+    if args.backend == "interpreter" and args.compiled:
+        parser.error("--backend interpreter contradicts --compiled")
+    if args.backend != "procs":
+        if args.workers is not None:
+            parser.error("--workers requires --backend procs")
+        if args.pin_workers:
+            parser.error("--pin-workers requires --backend procs")
+    elif args.workers is not None and args.workers < 1:
+        parser.error("--workers must be at least 1")
     if args.block_shape is not None and not (
         args.tiled or args.autotune_blocks
     ):
@@ -461,6 +503,9 @@ def _run_engine(args) -> int:
         halo_threshold=args.halo_threshold,
         variant=Variant(args.variant),
         partition_grid=tuple(args.grid) if args.grid else None,
+        backend=args.backend,
+        workers=args.workers,
+        pin_workers=args.pin_workers,
     )
     json_path = args.json
     print(report.render())

@@ -51,6 +51,11 @@ from .island_exec import (
     MpdataIslandSolver,
     PartitionedRunner,
 )
+from .procs import (
+    ProcsBackend,
+    SharedArena,
+    WorkerCrashed,
+)
 from .recovery import (
     NumericalHealthError,
     RecoveryPolicy,
@@ -100,12 +105,14 @@ __all__ = [
     "MpdataIslandSolver",
     "NumericalHealthError",
     "PartitionedRunner",
+    "ProcsBackend",
     "RecoveryPolicy",
     "RecoveryReport",
     "ResiliencePolicy",
     "ResilientExecutor",
     "RunHistory",
     "RunRecorder",
+    "SharedArena",
     "StepDiagnostics",
     "StepEvent",
     "StepStats",
@@ -118,6 +125,7 @@ __all__ = [
     "TiledEngineReport",
     "UnrecoverableRunError",
     "VerificationResult",
+    "WorkerCrashed",
     "check_step_health",
     "create_backend",
     "measure_steady_state",

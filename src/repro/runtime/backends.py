@@ -18,8 +18,12 @@ the shared output array.  What varies is *how* the sweep runs:
     blocks, each with its own compiled step and sized workspace
     (:func:`~repro.stencil.tiled_exec.compile_plan_tiled`), optionally
     swept by an intra-island thread team.
+``procs`` (:class:`~repro.runtime.procs.ProcsBackend`)
+    True multi-core islands: each island runs in a persistent worker
+    *process* over shared-memory arenas, sidestepping the GIL entirely
+    (registered by :mod:`repro.runtime.procs` on package import).
 
-All three produce bit-identical results — every backend evaluates the
+All of them produce bit-identical results — every backend evaluates the
 identical expressions on identical inputs — so the registry key in
 :class:`~repro.runtime.config.EngineConfig` is purely a performance and
 deployment choice.  Backends own their per-island resources (arenas,
@@ -60,6 +64,7 @@ from ..stencil.interpreter import ArrayRegion, StageArena
 from ..stencil.program import StencilProgram
 from ..stencil.region import Box
 from .config import EngineConfig
+from .faults import InjectedFault
 
 __all__ = [
     "BACKENDS",
@@ -198,6 +203,39 @@ class IslandBackend:
     def close(self) -> None:
         """Release backend-owned resources (idempotent; default: none)."""
 
+    # -- storage hooks (shared-memory backends override) ----------------
+    def allocate_ghost(self, field_name: str) -> Optional[ArrayRegion]:
+        """Backend-owned storage for one ghost-extended input, or ``None``.
+
+        The runner consults this before allocating a ghost buffer; a
+        backend that needs the inputs in special storage (the ``procs``
+        backend places them in shared memory so worker processes read
+        them zero-copy) returns a persistent region covering the
+        clip domain, which the runner then fills in place every step.
+        """
+        return None
+
+    def allocate_output(self) -> Optional[np.ndarray]:
+        """Backend-owned storage for the assembled output, or ``None``.
+
+        Same contract as :meth:`allocate_ghost`: the ``procs`` backend
+        hands out its shared-memory output arena so worker processes
+        publish their parts without any cross-process copy.
+        """
+        return None
+
+    # -- fault hooks ----------------------------------------------------
+    def inject_kill(self, island: int, step: int, attempt: int) -> None:
+        """Kill the island's *executor* (a ``kill`` fault fired).
+
+        In-process backends have no executor separate from the task, so
+        the default degrades to a ``crash``: raise
+        :class:`~repro.runtime.faults.InjectedFault` here and now.  The
+        ``procs`` backend overrides this to arm a real ``SIGKILL`` of
+        the worker process mid-step instead of raising.
+        """
+        raise InjectedFault(island, step, attempt)
+
     # -- stage-granular execution (exchange / hybrid halo policies) -----
     @property
     def ledger(self) -> Optional[HaloLedger]:
@@ -216,14 +254,42 @@ class IslandBackend:
         self._ledger = ledger
         for island in self.decomposition.islands:
             buffers: List[Optional[ArrayRegion]] = []
-            for box in ledger.buffer_boxes[island.index]:
+            for stage_index, box in enumerate(ledger.buffer_boxes[island.index]):
                 if box.is_empty():
                     buffers.append(None)
                 else:
                     buffers.append(
-                        ArrayRegion(np.empty(box.shape, dtype=self.dtype), box)
+                        ArrayRegion(
+                            self._allocate_stage_array(
+                                island.index, stage_index, box
+                            ),
+                            box,
+                        )
                     )
             self._stage_buffers[island.index] = buffers
+        self._prepare_stage_state()
+
+    def _allocate_stage_array(
+        self, island_index: int, stage_index: int, box: Box
+    ) -> np.ndarray:
+        """Storage for one stage buffer (hook: ``procs`` carves from shm)."""
+        return np.empty(box.shape, dtype=self.dtype)
+
+    def adopt_exchange_state(
+        self,
+        ledger: HaloLedger,
+        stage_buffers: Dict[int, List[Optional[ArrayRegion]]],
+    ) -> None:
+        """Install pre-allocated stage buffers and build compute state.
+
+        The worker-process half of the ``procs`` backend's exchange mode:
+        the parent already allocated every island's stage buffers in
+        shared memory (:meth:`prepare_exchange`), so the worker's inner
+        backend must *adopt* those regions — binding its per-stage
+        compute state to them — rather than allocate fresh ones.
+        """
+        self._ledger = ledger
+        self._stage_buffers = stage_buffers
         self._prepare_stage_state()
 
     def stage_buffer(

@@ -33,12 +33,16 @@ from .faults import FaultInjector, parse_fault_spec
 __all__ = [
     "BACKEND_KEYS",
     "LEGACY_ENGINE_KWARGS",
+    "PROCS_INNER_KEYS",
     "EngineConfig",
     "resolve_engine_config",
 ]
 
 #: Registry keys of the execution backends (see :mod:`repro.runtime.backends`).
-BACKEND_KEYS = ("interpreter", "compiled", "tiled")
+BACKEND_KEYS = ("interpreter", "compiled", "tiled", "procs")
+
+#: Stage executors a ``procs`` worker may run inside itself.
+PROCS_INNER_KEYS = ("interpreter", "compiled")
 
 #: Constructor keywords the one-release deprecation shim still accepts.
 LEGACY_ENGINE_KWARGS = (
@@ -106,6 +110,16 @@ class EngineConfig:
     halo_threshold:
         Hybrid policy only: island boundaries shipping more than this
         many points per step are recomputed instead of exchanged.
+    workers:
+        ``procs`` backend only: number of persistent worker processes.
+        ``None`` (default) means one worker per island; fewer workers
+        multiplex islands round-robin.
+    pin_workers:
+        ``procs`` backend only: pin each worker to one CPU via
+        ``sched_setaffinity`` (the paper's core-to-island placement).
+    procs_inner:
+        ``procs`` backend only: the stage executor each worker runs for
+        its islands — ``"compiled"`` (default) or ``"interpreter"``.
     """
 
     backend: str = "interpreter"
@@ -122,6 +136,9 @@ class EngineConfig:
     collect_timings: bool = False
     halo: str = "recompute"
     halo_threshold: Optional[int] = None
+    workers: Optional[int] = None
+    pin_workers: bool = False
+    procs_inner: str = "compiled"
 
     def __post_init__(self) -> None:
         # Normalize (object.__setattr__: the dataclass is frozen) so two
@@ -193,6 +210,26 @@ class EngineConfig:
                 f"halo_threshold is a hybrid-policy option; got "
                 f"halo={self.halo!r}"
             )
+        if self.procs_inner not in PROCS_INNER_KEYS:
+            raise ValueError(
+                f"unknown procs_inner {self.procs_inner!r}; known: "
+                f"{', '.join(PROCS_INNER_KEYS)}"
+            )
+        if self.workers is not None:
+            object.__setattr__(self, "workers", int(self.workers))
+            if self.workers < 1:
+                raise ValueError("workers must be positive (or None)")
+        if self.backend != "procs":
+            if self.workers is not None:
+                raise ValueError(
+                    f"workers is a procs-backend option; got "
+                    f"backend={self.backend!r}"
+                )
+            if self.pin_workers:
+                raise ValueError(
+                    f"pin_workers is a procs-backend option; got "
+                    f"backend={self.backend!r}"
+                )
 
     # ------------------------------------------------------------------
     # Derived values
@@ -229,6 +266,9 @@ class EngineConfig:
             "collect_timings": self.collect_timings,
             "halo": self.halo,
             "halo_threshold": self.halo_threshold,
+            "workers": self.workers,
+            "pin_workers": self.pin_workers,
+            "procs_inner": self.procs_inner,
         }
 
     @classmethod
@@ -269,6 +309,7 @@ class EngineConfig:
         tiled = bool(
             getattr(args, "tiled", False)
             or getattr(args, "autotune_blocks", False)
+            or getattr(args, "backend", None) == "tiled"
             or block_shape is not None
         )
         if tiled and block_shape is None:
@@ -289,13 +330,33 @@ class EngineConfig:
             or getattr(args, "checkpoint_every", None) is not None
             or getattr(args, "checkpoint_dir", None) is not None
         )
-        return cls(
-            backend=(
+        # --backend is the explicit selector; the legacy --compiled /
+        # --tiled flags keep working when it is absent.
+        backend = getattr(args, "backend", None)
+        if backend is None:
+            backend = (
                 "tiled"
                 if tiled
                 else "compiled"
                 if getattr(args, "compiled", False)
                 else "interpreter"
+            )
+        if backend != "tiled" and tiled:
+            raise ValueError(
+                f"--backend {backend} does not combine with "
+                "--tiled/--block-shape/--autotune-blocks"
+            )
+        procs = backend == "procs"
+        return cls(
+            backend=backend,
+            workers=getattr(args, "workers", None) if procs else None,
+            pin_workers=(
+                bool(getattr(args, "pin_workers", False)) if procs else False
+            ),
+            procs_inner=(
+                "interpreter"
+                if procs and not getattr(args, "compiled", False)
+                else "compiled"
             ),
             threads=getattr(args, "threads", 1),
             reuse_buffers=True,

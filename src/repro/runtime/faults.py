@@ -10,12 +10,19 @@ every fault names the island index, the time step, and how many attempts
 it fires for, which makes each recovery path — retry, rollback, guard
 trip, degradation — individually testable and every test reproducible.
 
-Three fault kinds cover the failure modes a long stencil run actually
+Four fault kinds cover the failure modes a long stencil run actually
 sees:
 
 ``crash``
     The island task raises (:class:`InjectedFault`) before computing —
     a worker dying mid-step.  Recovered by per-island retry.
+``kill``
+    The island's *executor* dies, not just its task: under the ``procs``
+    backend the worker process SIGKILLs itself mid-step (a real process
+    crash — no exception propagates from inside the worker, only a dead
+    pipe); in-process backends degrade it to ``crash``.  Recovered by
+    per-island retry plus executor respawn
+    (:meth:`~repro.runtime.backends.IslandBackend.refresh`).
 ``slow``
     The island task sleeps before computing — a straggler island (the
     load-imbalance pathology of Sect. 4.1 pushed to the extreme).  Never
@@ -37,7 +44,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -50,7 +57,7 @@ __all__ = [
     "parse_fault_spec",
 ]
 
-FAULT_KINDS = ("crash", "slow", "corrupt")
+FAULT_KINDS = ("crash", "kill", "slow", "corrupt")
 
 
 class InjectedFault(RuntimeError):
@@ -72,7 +79,7 @@ class FaultSpec:
     Parameters
     ----------
     kind:
-        ``"crash"``, ``"slow"`` or ``"corrupt"``.
+        ``"crash"``, ``"kill"``, ``"slow"`` or ``"corrupt"``.
     island:
         Island index the fault targets.
     step:
@@ -161,6 +168,7 @@ class FaultStats:
     """
 
     injected_crashes: int = 0
+    injected_kills: int = 0
     injected_slowdowns: int = 0
     injected_corruptions: int = 0
     retries: int = 0
@@ -243,11 +251,16 @@ def apply_pre_faults(
     island: int,
     step: int,
     attempt: int,
+    kill: Optional[Callable[[int, int, int], None]] = None,
 ) -> None:
-    """Apply ``slow`` then ``crash`` faults before an island computes.
+    """Apply ``slow``, then ``kill``/``crash`` faults before an island computes.
 
     Sleeps are applied first so a site carrying both kinds is slow *and*
-    then dies, the worst case.  Mutating ``stats`` here is safe: the
+    then dies, the worst case.  ``kill`` is the backend's executor-death
+    hook (:meth:`~repro.runtime.backends.IslandBackend.inject_kill`):
+    the default raises :class:`InjectedFault` exactly like ``crash``,
+    while the ``procs`` backend arms a real SIGKILL of the worker
+    process instead of raising.  Mutating ``stats`` here is safe: the
     caller serializes per-island accounting (see ``PartitionedRunner``).
     """
     for spec in fired:
@@ -255,7 +268,12 @@ def apply_pre_faults(
             stats.injected_slowdowns += 1
             time.sleep(spec.delay)
     for spec in fired:
-        if spec.kind == "crash":
+        if spec.kind == "kill":
+            stats.injected_kills += 1
+            if kill is None:
+                raise InjectedFault(island, step, attempt)
+            kill(island, step, attempt)
+        elif spec.kind == "crash":
             stats.injected_crashes += 1
             raise InjectedFault(island, step, attempt)
 

@@ -179,6 +179,11 @@ class PartitionedRunner:
             clip_domain=self.extended_domain,
             partition=partition,
         )
+        if config.backend == "procs":
+            # Each dispatch thread blocks in recv on its worker's pipe —
+            # the fan-out join is the step barrier — so the team must
+            # cover every island or procs would run them serially.
+            self.threads = max(self.threads, self.decomposition.count)
         # One halo ledger per runner, always built: under ``recompute`` it
         # only carries the accounting (redundant points, zero flows); under
         # ``exchange``/``hybrid`` it is the executable stage geometry the
@@ -289,9 +294,18 @@ class PartitionedRunner:
                 continue
             region = self._ghost.get(field.name)
             if region is None:
-                region = extend_array(
-                    arr, self.ghosts.lo, self.ghosts.hi, self.boundary
-                )
+                # A shared-memory backend supplies the storage (workers
+                # map the same bytes); the runner still fills the ghosts.
+                region = self.backend.allocate_ghost(field.name)
+                if region is None:
+                    region = extend_array(
+                        arr, self.ghosts.lo, self.ghosts.hi, self.boundary
+                    )
+                else:
+                    extend_array_into(
+                        arr, region, self.ghosts.lo, self.ghosts.hi,
+                        self.boundary,
+                    )
                 self._ghost[field.name] = region
                 ghost_allocations += 1
             elif changed is None or field.name in changed:
@@ -309,7 +323,9 @@ class PartitionedRunner:
         if not self.reuse_output:
             return np.empty(self.shape, dtype=self.dtype), 1
         if self._out is None:
-            self._out = np.empty(self.shape, dtype=self.dtype)
+            self._out = self.backend.allocate_output()
+            if self._out is None:
+                self._out = np.empty(self.shape, dtype=self.dtype)
             return self._out, 1
         return self._out, 0
 

@@ -1,0 +1,578 @@
+"""True multi-core islands: one persistent worker *process* per island.
+
+Every other backend executes islands as threads under the GIL, so the
+"parallelism" the simulator reports is the cost model's, not the
+machine's.  This backend is the first where islands-vs-(3+1)D wall-clock
+reflects the paper's mechanism: each island (or a round-robin group of
+islands when ``workers`` < islands) is owned by a persistent worker
+process, and all mutable grid state lives in
+:mod:`multiprocessing.shared_memory` arenas mapped by parent and workers
+alike:
+
+* the **ghost-extended inputs** — the runner fills them in place through
+  :meth:`~repro.runtime.backends.IslandBackend.allocate_ghost`, workers
+  read them zero-copy;
+* the **assembled output** — workers publish their parts directly
+  through :meth:`~repro.runtime.backends.IslandBackend.allocate_output`,
+  no cross-process copy on the hot path;
+* in exchange/hybrid halo mode, the **per-stage buffers** — the parent's
+  existing :class:`~repro.core.halo.HaloLedger` boundary-copy loop works
+  on the very same bytes the workers compute into.
+
+Workers are forked (POSIX only), so they inherit the parent's program,
+decomposition and shared-memory views with no pickling; each worker then
+builds its *own* islands' compute state — arenas, compiled workspaces —
+in its own address space, the first-touch-style per-island initialization
+of Wittmann/Hager (arXiv 0912.4506).  The step protocol is the paper's
+one-barrier-per-step: the parent issues one command per island, the
+pipe joins are the barrier, and under exchange mode the same join runs
+once per stage.  The interpreter/compiled stage executors run inside the
+workers unchanged, so every trajectory is bit-identical to the
+single-process backends.
+
+Failure semantics are *real*: a worker that dies (SIGKILL, OOM, a
+``kill`` fault) surfaces as :class:`WorkerCrashed` on the parent's pipe,
+which the resilience layer treats like any island fault — retry,
+:meth:`ProcsBackend.refresh` respawns the worker (a fresh fork rebinds
+the shared-memory views), and the step replays bit-identically.
+Teardown is guaranteed: segments are unlinked by :meth:`close`, by a
+:func:`weakref.finalize` guard on abandonment, and at interpreter exit —
+even after an exception or ``KeyboardInterrupt`` — so no ``/dev/shm``
+blocks leak.  Workers never unlink (they exit via ``os._exit``), so a
+crashed worker cannot take the arena down with it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import weakref
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import IslandDecomposition
+from ..stencil.interpreter import ArrayRegion
+from ..stencil.program import StencilProgram
+from ..stencil.region import Box
+from .backends import BACKENDS, IslandBackend, IslandResult
+from .config import EngineConfig
+
+__all__ = [
+    "ProcsBackend",
+    "SharedArena",
+    "WorkerCrashed",
+    "live_segment_names",
+]
+
+#: Shared-memory segment names carry this prefix (leak checks key on it).
+SEGMENT_PREFIX = "repro-procs"
+
+#: Registry of every live arena's segment names, for leak diagnostics.
+_LIVE_SEGMENTS: Dict[int, List[str]] = {}
+_LIVE_LOCK = threading.Lock()
+
+
+def live_segment_names() -> Tuple[str, ...]:
+    """Names of all shared-memory segments currently owned by arenas.
+
+    Test hook: after every backend is closed this must be empty, and any
+    ``/dev/shm`` entry matching :data:`SEGMENT_PREFIX` is a leak.
+    """
+    with _LIVE_LOCK:
+        return tuple(
+            name for names in _LIVE_SEGMENTS.values() for name in names
+        )
+
+
+def _release_segments(arena_id: int, segments: List[object]) -> None:
+    """Unlink (then close) every segment; idempotent and exception-proof.
+
+    Runs from :meth:`SharedArena.close`, from the arena's
+    ``weakref.finalize`` guard on garbage collection, or at interpreter
+    exit — whichever comes first.  Unlink goes first because it is the
+    leak-critical half: a closed-but-linked segment still occupies
+    ``/dev/shm``, while an unlinked-but-mapped one vanishes as soon as
+    its last view dies.
+    """
+    while segments:
+        shm = segments.pop()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # already unlinked (e.g. double close)
+            pass
+        except OSError:  # pragma: no cover - platform oddity; keep going
+            pass
+        try:
+            shm.close()
+        except BufferError:
+            # NumPy views of the mapping are still alive somewhere; the
+            # segment is already unlinked, so nothing leaks — the memory
+            # is reclaimed when the last view is collected.
+            pass
+    with _LIVE_LOCK:
+        _LIVE_SEGMENTS.pop(arena_id, None)
+
+
+class SharedArena:
+    """Owner of named shared-memory segments with guaranteed unlink.
+
+    Allocation hands out NumPy arrays backed by fresh
+    :class:`multiprocessing.shared_memory.SharedMemory` segments; the
+    arena guarantees every segment is unlinked exactly once — on
+    :meth:`close`, on garbage collection, or at interpreter exit — even
+    if the owning backend died mid-step.  Forked children inherit the
+    mappings; :meth:`disown` detaches the guard in a child so only the
+    parent ever unlinks.
+    """
+
+    def __init__(self, tag: str) -> None:
+        self.tag = tag
+        self._segments: List[object] = []
+        self._names: List[str] = []
+        self._seq = 0
+        with _LIVE_LOCK:
+            _LIVE_SEGMENTS[id(self)] = self._names
+        self._finalizer = weakref.finalize(
+            self, _release_segments, id(self), self._segments
+        )
+
+    def allocate(self, shape: Sequence[int], dtype: np.dtype) -> np.ndarray:
+        """A zero-filled shared array of ``shape`` in a fresh segment."""
+        from multiprocessing.shared_memory import SharedMemory
+
+        dtype = np.dtype(dtype)
+        size = max(1, int(np.prod(shape)) * dtype.itemsize)
+        name = f"{self.tag}-{self._seq}"
+        self._seq += 1
+        shm = SharedMemory(name=name, create=True, size=size)
+        self._segments.append(shm)
+        self._names.append(name)
+        return np.ndarray(tuple(shape), dtype=dtype, buffer=shm.buf)
+
+    @property
+    def segment_names(self) -> Tuple[str, ...]:
+        return tuple(self._names)
+
+    def disown(self) -> None:
+        """Forked-child half: never unlink the parent's segments."""
+        self._finalizer.detach()
+        with _LIVE_LOCK:
+            _LIVE_SEGMENTS.pop(id(self), None)
+
+    def close(self) -> None:
+        """Unlink everything now (idempotent)."""
+        self._finalizer()
+
+
+class WorkerCrashed(RuntimeError):
+    """An island's worker process died mid-command (pipe went dead).
+
+    The process-backend analogue of an in-task exception: raised by the
+    parent-side dispatch when the command pipe breaks, caught by the
+    resilience layer's retry loop, and cleared by
+    :meth:`ProcsBackend.refresh` respawning the worker.
+    """
+
+    def __init__(
+        self, island: int, worker: int, pid: Optional[int], exitcode
+    ) -> None:
+        super().__init__(
+            f"worker {worker} (pid {pid}, exitcode {exitcode}) died while "
+            f"executing island {island}"
+        )
+        self.island = island
+        self.worker = worker
+        self.pid = pid
+        self.exitcode = exitcode
+
+
+class _WorkerHandle:
+    """Parent-side state of one worker process.
+
+    ``lock`` serializes every use of the pipe *and* respawning, so two
+    islands multiplexed onto one worker never interleave their commands
+    and never race a respawn.
+    """
+
+    def __init__(self, worker_id: int, islands: Tuple[int, ...]) -> None:
+        self.worker_id = worker_id
+        self.islands = islands
+        self.process = None
+        self.conn = None
+        self.lock = threading.Lock()
+
+
+def _finalize_backend(handles: List[_WorkerHandle], arena: SharedArena) -> None:
+    """Last-resort teardown for an abandoned (never-closed) backend."""
+    for handle in handles:
+        process = handle.process
+        if process is not None and process.is_alive():
+            try:
+                process.kill()
+            except Exception:  # pragma: no cover - already reaped
+                pass
+        if handle.conn is not None:
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+    arena.close()
+
+
+class ProcsBackend(IslandBackend):
+    """Islands as pinned worker processes over shared-memory arenas."""
+
+    key = "procs"
+
+    def __init__(
+        self,
+        program: StencilProgram,
+        decomposition: IslandDecomposition,
+        *,
+        clip_domain: Box,
+        output_field: str,
+        dtype: np.dtype,
+        reuse_buffers: bool,
+        timed: bool,
+        workers: Optional[int] = None,
+        pin_workers: bool = False,
+        inner: str = "compiled",
+    ) -> None:
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "the procs backend forks persistent worker processes and "
+                "requires a POSIX platform"
+            )
+        if inner not in ("interpreter", "compiled"):
+            raise ValueError(
+                f"procs inner executor must be 'interpreter' or 'compiled', "
+                f"got {inner!r}"
+            )
+        super().__init__(
+            program,
+            decomposition,
+            clip_domain=clip_domain,
+            output_field=output_field,
+            dtype=dtype,
+            reuse_buffers=reuse_buffers,
+            timed=timed,
+        )
+        count = decomposition.count
+        self.workers = count if workers is None else max(1, min(workers, count))
+        self.pin_workers = pin_workers
+        self.inner = inner
+        self._ctx = multiprocessing.get_context("fork")
+        self._arena = SharedArena(f"{SEGMENT_PREFIX}-{os.getpid()}-{id(self):x}")
+        self._input_regions: Dict[str, ArrayRegion] = {}
+        self._output: Optional[np.ndarray] = None
+        self._handles: List[_WorkerHandle] = []
+        self._by_island: Dict[int, _WorkerHandle] = {}
+        self._pending_kill: set = set()
+        self._kill_lock = threading.Lock()
+        self._closed = False
+        self._finalizer = weakref.finalize(
+            self, _finalize_backend, self._handles, self._arena
+        )
+
+    @classmethod
+    def from_config(
+        cls,
+        config: EngineConfig,
+        program: StencilProgram,
+        decomposition: IslandDecomposition,
+        *,
+        clip_domain: Box,
+        output_field: str,
+    ) -> "ProcsBackend":
+        return cls(
+            program,
+            decomposition,
+            clip_domain=clip_domain,
+            output_field=output_field,
+            dtype=config.numpy_dtype,
+            reuse_buffers=config.reuse_buffers,
+            timed=config.collect_timings,
+            workers=config.workers,
+            pin_workers=config.pin_workers,
+            inner=config.procs_inner,
+        )
+
+    # ------------------------------------------------------------------
+    # Shared-memory layout
+    # ------------------------------------------------------------------
+    def _allocate_shared_io(self) -> None:
+        """Carve the input and output arenas the runner will adopt."""
+        for field in self.program.input_fields:
+            self._input_regions[field.name] = ArrayRegion(
+                self._arena.allocate(self.clip_domain.shape, self.dtype),
+                self.clip_domain,
+            )
+        domain = self.decomposition.partition.domain
+        self._output = self._arena.allocate(domain.shape, self.dtype)
+
+    def _allocate_stage_array(
+        self, island_index: int, stage_index: int, box: Box
+    ) -> np.ndarray:
+        """Stage buffers live in shared memory: the parent's halo-copy
+        loop and the owning worker's compute write the same bytes."""
+        return self._arena.allocate(box.shape, self.dtype)
+
+    def allocate_ghost(self, field_name: str) -> Optional[ArrayRegion]:
+        return self._input_regions.get(field_name)
+
+    def allocate_output(self) -> Optional[np.ndarray]:
+        return self._output
+
+    def _sync_inputs(self, inputs: Mapping[str, ArrayRegion]) -> None:
+        """Make the shared input arenas hold the caller's data.
+
+        Through the runner this is free: the runner ghost-fills our
+        arenas in place (``allocate_ghost``), so every region *is* ours
+        and the identity check short-circuits.  A direct caller passing
+        foreign regions pays one copy into shared memory instead.
+        """
+        for name, region in self._input_regions.items():
+            given = inputs.get(name)
+            if given is not None and given is not region:
+                region.data[...] = given.view(region.box)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def prepare(self) -> None:
+        self._allocate_shared_io()
+        self._spawn_all()
+
+    def _prepare_stage_state(self) -> None:
+        # Called by the base prepare_exchange() after the (shared-memory)
+        # stage buffers exist; the workers fork here and inherit them.
+        self._allocate_shared_io()
+        self._spawn_all()
+
+    def _spawn_all(self) -> None:
+        island_ids = [island.index for island in self.decomposition.islands]
+        for worker_id in range(self.workers):
+            mine = tuple(
+                q for q in island_ids if q % self.workers == worker_id
+            )
+            handle = _WorkerHandle(worker_id, mine)
+            self._handles.append(handle)
+            for q in mine:
+                self._by_island[q] = handle
+            self._start_worker(handle)
+
+    def _start_worker(self, handle: _WorkerHandle) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=self._worker_entry,
+            args=(child_conn, handle.worker_id, handle.islands),
+            name=f"repro-procs-w{handle.worker_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle.process = process
+        handle.conn = parent_conn
+
+    def refresh(self, island_index: int) -> None:
+        """Fresh compute state for one island — respawning if needed.
+
+        A live worker refreshes the island's inner arenas in place; a
+        dead one (real crash, SIGKILL) is reaped and re-forked, which
+        rebinds its shared-memory views and rebuilds all of its islands'
+        state from scratch.
+        """
+        handle = self._by_island[island_index]
+        with handle.lock:
+            if handle.process is not None and handle.process.is_alive():
+                try:
+                    handle.conn.send(("refresh", island_index))
+                    reply = handle.conn.recv()
+                    if reply[0] == "ok":
+                        return
+                except (EOFError, OSError):
+                    pass  # died under us; fall through to respawn
+            self._respawn_locked(handle)
+
+    def _respawn_locked(self, handle: _WorkerHandle) -> None:
+        process = handle.process
+        if process is not None:
+            if process.is_alive():  # wedged rather than dead
+                process.kill()
+            process.join(timeout=5.0)
+        if handle.conn is not None:
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._start_worker(handle)
+
+    def close(self) -> None:
+        """Stop every worker and unlink every segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._handles:
+            with handle.lock:
+                if handle.conn is not None:
+                    try:
+                        handle.conn.send(("close",))
+                    except (OSError, ValueError):
+                        pass
+        for handle in self._handles:
+            with handle.lock:
+                process = handle.process
+                if process is not None:
+                    process.join(timeout=5.0)
+                    if process.is_alive():  # pragma: no cover - wedged
+                        process.kill()
+                        process.join(timeout=5.0)
+                    handle.process = None
+                if handle.conn is not None:
+                    try:
+                        handle.conn.close()
+                    except OSError:  # pragma: no cover
+                        pass
+                    handle.conn = None
+        self._arena.close()
+
+    # ------------------------------------------------------------------
+    # Fault hooks
+    # ------------------------------------------------------------------
+    def inject_kill(self, island: int, step: int, attempt: int) -> None:
+        """Arm a real SIGKILL: the island's worker dies mid-step."""
+        with self._kill_lock:
+            self._pending_kill.add(island)
+
+    def _take_kill(self, island: int) -> bool:
+        with self._kill_lock:
+            if island in self._pending_kill:
+                self._pending_kill.discard(island)
+                return True
+            return False
+
+    # ------------------------------------------------------------------
+    # Dispatch (parent side)
+    # ------------------------------------------------------------------
+    def _dispatch(self, island_index: int, command: tuple) -> IslandResult:
+        handle = self._by_island[island_index]
+        with handle.lock:
+            try:
+                handle.conn.send(command)
+                reply = handle.conn.recv()
+            except (EOFError, OSError) as error:
+                process = handle.process
+                raise WorkerCrashed(
+                    island_index,
+                    handle.worker_id,
+                    None if process is None else process.pid,
+                    None if process is None else process.exitcode,
+                ) from error
+        if reply[0] != "ok":
+            raise RuntimeError(
+                f"island {island_index} failed in worker "
+                f"{handle.worker_id}: {reply[1]}"
+            )
+        return reply[1]
+
+    def execute_island(self, island, inputs, out) -> IslandResult:
+        self._sync_inputs(inputs)
+        result = self._dispatch(
+            island.index, ("step", island.index, self._take_kill(island.index))
+        )
+        if out is not self._output:  # direct caller with a foreign buffer
+            out[island.part.slices()] = self._output[island.part.slices()]
+        return result
+
+    def _execute_stage(self, island, stage_index, inputs) -> IslandResult:
+        self._sync_inputs(inputs)
+        return self._dispatch(
+            island.index,
+            ("stage", island.index, stage_index, self._take_kill(island.index)),
+        )
+
+    # ------------------------------------------------------------------
+    # Worker side (runs in the forked child)
+    # ------------------------------------------------------------------
+    def _worker_entry(self, conn, worker_id: int, islands: Tuple[int, ...]):
+        # The child must never run the parent's finalizers (unlinking a
+        # live arena) nor any other interpreter-exit machinery, so every
+        # path out of here is an os._exit.
+        status = 0
+        try:
+            self._worker_loop(conn, worker_id, islands)
+        except BaseException:
+            status = 1  # the parent sees the dead pipe, not a traceback
+        finally:
+            os._exit(status)
+
+    def _worker_loop(self, conn, worker_id: int, islands: Tuple[int, ...]):
+        self._arena.disown()
+        self._finalizer.detach()
+        if self.pin_workers:
+            try:
+                cpus = sorted(os.sched_getaffinity(0))
+                os.sched_setaffinity(0, {cpus[worker_id % len(cpus)]})
+            except (AttributeError, OSError):  # pragma: no cover - no affinity
+                pass
+        by_index = {
+            island.index: island for island in self.decomposition.islands
+        }
+        mine = tuple(by_index[q] for q in islands)
+        inner_cls = BACKENDS[self.inner]
+        inner = inner_cls(
+            self.program,
+            replace(self.decomposition, islands=mine),
+            clip_domain=self.clip_domain,
+            output_field=self.output_field,
+            dtype=self.dtype,
+            reuse_buffers=True,
+            timed=self.timed,
+        )
+        if self._ledger is not None:
+            # First-touch-style: this worker binds its own compute state
+            # to the shared stage buffers it inherited from the fork.
+            inner.adopt_exchange_state(self._ledger, self._stage_buffers)
+        else:
+            inner.prepare()
+        inputs = self._input_regions
+        out = self._output
+        while True:
+            command = conn.recv()
+            op = command[0]
+            if op == "close":
+                break
+            if op == "refresh":
+                inner.refresh(command[1])
+                conn.send(("ok", None))
+            elif op == "step":
+                _, q, die = command
+                if die:
+                    os.kill(os.getpid(), signal.SIGKILL)
+                try:
+                    result = inner.execute_island(by_index[q], inputs, out)
+                except Exception as error:
+                    conn.send(("err", f"{type(error).__name__}: {error}"))
+                else:
+                    conn.send(("ok", result))
+            elif op == "stage":
+                _, q, stage_index, die = command
+                if die:
+                    os.kill(os.getpid(), signal.SIGKILL)
+                try:
+                    result = inner.execute_island_stage(
+                        by_index[q], stage_index, inputs
+                    )
+                except Exception as error:
+                    conn.send(("err", f"{type(error).__name__}: {error}"))
+                else:
+                    conn.send(("ok", result))
+            else:  # pragma: no cover - protocol error
+                conn.send(("err", f"unknown command {op!r}"))
+
+
+BACKENDS[ProcsBackend.key] = ProcsBackend

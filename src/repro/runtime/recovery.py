@@ -178,6 +178,7 @@ class RecoveryReport:
                 f"  checkpoints written {self.checkpoints_written}"
                 f"  [last: {checkpoint}]",
                 f"  injected faults     {stats.injected_crashes} crash,"
+                f" {stats.injected_kills} kill,"
                 f" {stats.injected_slowdowns} slow,"
                 f" {stats.injected_corruptions} corrupt",
                 f"  degraded to serial  "

@@ -124,7 +124,8 @@ class ResilientExecutor:
         )
         if fired:
             apply_pre_faults(
-                fired, fault_stats(), island.index, step_index, attempt
+                fired, fault_stats(), island.index, step_index, attempt,
+                kill=self.backend.inject_kill,
             )
         begin = time.perf_counter() if self.backend.timed else 0.0
         result = self.backend.execute_island(island, inputs, out)
@@ -150,7 +151,8 @@ class ResilientExecutor:
         )
         if fired:
             apply_pre_faults(
-                fired, fault_stats(), island.index, step_index, attempt
+                fired, fault_stats(), island.index, step_index, attempt,
+                kill=self.backend.inject_kill,
             )
         begin = time.perf_counter() if self.backend.timed else 0.0
         result = self.backend.execute_island_stage(island, stage_index, inputs)

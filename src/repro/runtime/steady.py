@@ -49,6 +49,7 @@ class SteadyStateReport:
     compiled: bool
     bit_identical: bool
     halo: str = "recompute"
+    backend: str = ""  # registry key; "" = derived from ``compiled``
     #: mode name -> {"step_time_s", "allocations_per_step", "reused_per_step",
     #:               "warmup_allocations", "exchanged_bytes_per_step",
     #:               "stage_syncs"}
@@ -79,6 +80,7 @@ class SteadyStateReport:
             "compiled": self.compiled,
             "bit_identical": self.bit_identical,
             "halo": self.halo,
+            "backend": self.backend,
             "modes": self.modes,
             "allocation_ratio": ratio if np.isfinite(ratio) else None,
             "speedup": self.speedup,
@@ -90,8 +92,12 @@ class SteadyStateReport:
             "Steady-state execution engine "
             f"({ni}x{nj}x{nk}, {self.islands} islands, "
             f"{self.threads} threads, {self.steps} steps, "
-            f"{'compiled' if self.compiled else 'interpreted'}, "
-            f"halo {self.halo})",
+            + (
+                f"backend {self.backend}, "
+                if self.backend
+                else f"{'compiled' if self.compiled else 'interpreted'}, "
+            )
+            + f"halo {self.halo})",
             f"{'mode':<8} {'step time':>12} {'allocs/step':>12} "
             f"{'reused/step':>12} {'warm-up allocs':>15}",
         ]
@@ -179,6 +185,9 @@ def measure_steady_state(
     halo_threshold: Optional[int] = None,
     variant: Variant = Variant.A,
     partition_grid: Optional[Tuple[int, int]] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    pin_workers: bool = False,
 ) -> SteadyStateReport:
     """Measure naive vs engine stepping on one configuration.
 
@@ -189,6 +198,9 @@ def measure_steady_state(
     Lines file.  ``halo`` selects the boundary policy (recompute /
     exchange / hybrid); ``partition_grid=(pi, pj)`` decomposes over a 2D
     island grid instead of 1D slabs (``variant`` must be ``GRID_2D``).
+    ``backend`` overrides the ``compiled`` flag with an explicit registry
+    key (e.g. ``"procs"``, whose worker count and CPU pinning come from
+    ``workers`` / ``pin_workers``).
     """
     if state is None:
         state = random_state(shape, seed=seed)
@@ -197,12 +209,17 @@ def measure_steady_state(
         pi, pj = partition_grid
         partition = partition_grid_2d(full_box(shape), pi, pj)
         islands = partition.count
+    if backend is None:
+        backend = "compiled" if compiled else "interpreter"
+    procs = backend == "procs"
     base = EngineConfig(
-        backend="compiled" if compiled else "interpreter",
+        backend=backend,
         boundary=boundary,
         threads=threads,
         halo=halo,
         halo_threshold=halo_threshold,
+        workers=workers if procs else None,
+        pin_workers=pin_workers if procs else False,
     )
     report = SteadyStateReport(
         shape=tuple(shape),
@@ -212,6 +229,7 @@ def measure_steady_state(
         compiled=compiled,
         bit_identical=False,
         halo=halo,
+        backend=backend,
     )
     results = {}
     for mode, reuse in (("naive", False), ("engine", True)):

@@ -20,6 +20,7 @@ steady-state 0 allocs/step guarantee is unaffected.
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, TextIO, Tuple, Union
 
@@ -279,22 +280,31 @@ class JsonlSink(TelemetrySink):
     The file is opened lazily on the first event and closed by
     :meth:`close`, so constructing a runner with a JSONL sink that never
     steps leaves no empty file behind.
+
+    The sink is safe for concurrent producers — backend dispatch threads
+    fan island timings in from worker processes, and several runners may
+    share one sink: each event is serialized first and written as one
+    ``write()`` call under a lock, so rows never interleave and every
+    line parses.
     """
 
     def __init__(self, path) -> None:
         self.path = path
         self._handle: Optional[TextIO] = None
+        self._lock = threading.Lock()
         self.events_written = 0
 
     def emit(self, event: StepEvent) -> None:
-        if self._handle is None:
-            self._handle = open(self.path, "w")
-        json.dump(event.to_dict(), self._handle)
-        self._handle.write("\n")
-        self.events_written += 1
+        line = json.dumps(event.to_dict()) + "\n"
+        with self._lock:
+            if self._handle is None:
+                self._handle = open(self.path, "w")
+            self._handle.write(line)
+            self.events_written += 1
 
     def close(self) -> None:
-        handle, self._handle = self._handle, None
+        with self._lock:
+            handle, self._handle = self._handle, None
         if handle is not None:
             handle.close()
 
@@ -329,20 +339,27 @@ class Telemetry:
     ``Telemetry()`` (no sinks) is inert: :attr:`enabled` is False and the
     runner skips event construction entirely, so the zero-sink fast path
     costs one attribute check per step.
+
+    ``record`` is serialized by a lock: several producers — runners in
+    different threads, or dispatch threads merging worker-process results
+    — may feed one spine, and each event must land in every sink as one
+    unbroken record.
     """
 
     def __init__(self, sinks: Sequence[TelemetrySink] = ()) -> None:
         self.sinks: Tuple[TelemetrySink, ...] = tuple(sinks)
         self.last_event: Optional[StepEvent] = None
+        self._lock = threading.Lock()
 
     @property
     def enabled(self) -> bool:
         return bool(self.sinks)
 
     def record(self, event: StepEvent) -> None:
-        self.last_event = event
-        for sink in self.sinks:
-            sink.emit(event)
+        with self._lock:
+            self.last_event = event
+            for sink in self.sinks:
+                sink.emit(event)
 
     def with_sinks(self, *sinks: TelemetrySink) -> "Telemetry":
         """A new spine with ``sinks`` prepended (existing sinks kept)."""

@@ -174,6 +174,7 @@ class TestBackendRegistryBitIdentical:
             "interpreter": EngineConfig(backend="interpreter"),
             "compiled": EngineConfig(backend="compiled"),
             "tiled": EngineConfig(backend="tiled", block_shape=(8, 6, 8)),
+            "procs": EngineConfig(backend="procs", workers=2),
         }
         assert set(configs) == set(BACKEND_KEYS)
         finals = {key: _trajectory(cfg) for key, cfg in configs.items()}
