@@ -131,6 +131,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--pin-workers", action="store_true",
         help="pin each worker process to one CPU (sched_setaffinity)",
     )
+    procs.add_argument(
+        "--step-deadline", type=float, default=None, metavar="SECONDS",
+        help="explicit supervision deadline per island command: a worker "
+        "not replying in time is declared hung, killed and respawned "
+        "(default: adaptive, from --deadline-factor)",
+    )
+    procs.add_argument(
+        "--deadline-factor", type=float, default=None, metavar="X",
+        help="adaptive supervision: deadline = EWMA of command durations "
+        "x this factor, with a warm-up floor (default 8; 0 disables "
+        "supervision together with --step-deadline unset)",
+    )
+    procs.add_argument(
+        "--quarantine-after", type=int, default=None, metavar="N",
+        help="quarantine a worker after N consecutive failures and remap "
+        "its islands onto survivors, down to serial-in-parent "
+        "(default 3; 0 never quarantines)",
+    )
     halo = engine.add_argument_group(
         "halo policy",
         "how island boundaries are satisfied each step: recompute the "
@@ -454,8 +472,21 @@ def _validate_engine_args(parser, args) -> None:
             parser.error("--workers requires --backend procs")
         if args.pin_workers:
             parser.error("--pin-workers requires --backend procs")
-    elif args.workers is not None and args.workers < 1:
-        parser.error("--workers must be at least 1")
+        if args.step_deadline is not None:
+            parser.error("--step-deadline requires --backend procs")
+        if args.deadline_factor is not None:
+            parser.error("--deadline-factor requires --backend procs")
+        if args.quarantine_after is not None:
+            parser.error("--quarantine-after requires --backend procs")
+    else:
+        if args.workers is not None and args.workers < 1:
+            parser.error("--workers must be at least 1")
+        if args.step_deadline is not None and args.step_deadline <= 0:
+            parser.error("--step-deadline must be positive")
+        if args.deadline_factor is not None and args.deadline_factor < 0:
+            parser.error("--deadline-factor must be non-negative")
+        if args.quarantine_after is not None and args.quarantine_after < 0:
+            parser.error("--quarantine-after must be non-negative")
     if args.block_shape is not None and not (
         args.tiled or args.autotune_blocks
     ):
@@ -506,6 +537,9 @@ def _run_engine(args) -> int:
         backend=args.backend,
         workers=args.workers,
         pin_workers=args.pin_workers,
+        step_deadline=args.step_deadline,
+        deadline_factor=args.deadline_factor,
+        quarantine_after=args.quarantine_after,
     )
     json_path = args.json
     print(report.render())

@@ -45,6 +45,7 @@ from .faults import (
     FaultSpec,
     FaultStats,
     InjectedFault,
+    WorkerHung,
     parse_fault_spec,
 )
 from .island_exec import (
@@ -52,6 +53,7 @@ from .island_exec import (
     PartitionedRunner,
 )
 from .procs import (
+    DeadlineClock,
     ProcsBackend,
     SharedArena,
     WorkerCrashed,
@@ -90,6 +92,7 @@ __all__ = [
     "BACKEND_KEYS",
     "BACKENDS",
     "CompiledBackend",
+    "DeadlineClock",
     "EngineConfig",
     "FAULT_KINDS",
     "FaultInjector",
@@ -126,6 +129,7 @@ __all__ = [
     "UnrecoverableRunError",
     "VerificationResult",
     "WorkerCrashed",
+    "WorkerHung",
     "check_step_health",
     "create_backend",
     "measure_steady_state",

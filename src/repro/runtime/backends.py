@@ -236,6 +236,34 @@ class IslandBackend:
         """
         raise InjectedFault(island, step, attempt)
 
+    def inject_hang(self, island: int, step: int, attempt: int) -> None:
+        """Wedge the island's executor (a ``hang`` fault fired).
+
+        The default is a graceful no-op: an in-process island that stops
+        responding takes the whole interpreter with it, so there is
+        nothing recoverable to exercise and the fault is skipped (it is
+        still counted by the injector's accounting).  The ``procs``
+        backend overrides this to arm a worker that never replies,
+        which the deadline watchdog then detects and kills.
+        """
+
+    # -- supervision hooks (deadline-supervised backends override) ------
+    def health_events(self) -> Tuple[int, int]:
+        """Drain ``(quarantines, islands_remapped)`` since the last call.
+
+        Supervised backends count quarantine decisions and island
+        remaps internally (they happen inside :meth:`refresh`, below
+        the resilience layer); the retry loop drains them here into
+        :class:`~repro.runtime.faults.FaultStats`.  Default: nothing
+        ever happens.
+        """
+        return (0, 0)
+
+    @property
+    def serial_fallback(self) -> bool:
+        """True when a pooled backend degraded to serial-in-parent."""
+        return False
+
     # -- stage-granular execution (exchange / hybrid halo policies) -----
     @property
     def ledger(self) -> Optional[HaloLedger]:

@@ -91,7 +91,12 @@ class EngineConfig:
         tiled backend only.
     max_retries, retry_backoff:
         Resilience policy: per-island retry budget within one step, and
-        the base sleep before retry N (grows as ``backoff * 2**(N-1)``).
+        the base sleep before retry N (grows as ``backoff * 2**(N-1)``,
+        capped at ``retry_backoff_max``).
+    retry_backoff_max:
+        Ceiling on one retry sleep: the exponential backoff saturates
+        here (with deterministic down-jitter) instead of growing without
+        bound.
     fault_specs:
         Deterministic fault injection sites as
         :func:`~repro.runtime.faults.parse_fault_spec` strings — the
@@ -120,6 +125,24 @@ class EngineConfig:
     procs_inner:
         ``procs`` backend only: the stage executor each worker runs for
         its islands — ``"compiled"`` (default) or ``"interpreter"``.
+    step_deadline:
+        ``procs`` backend only: explicit supervision deadline in seconds
+        for one island command (step or stage).  A worker that does not
+        reply in time is declared hung, killed and respawned.  ``None``
+        (default) derives the deadline adaptively from
+        ``deadline_factor`` instead.
+    deadline_factor:
+        ``procs`` backend only: adaptive supervision — the deadline is
+        an EWMA of recent command durations times this multiplier (with
+        a warm-up floor before any sample exists).  ``None`` together
+        with ``step_deadline=None`` disables supervision entirely
+        (dispatch blocks without a deadline, as before).
+    quarantine_after:
+        ``procs`` backend only: a worker failing this many consecutive
+        times (hangs or crashes) is quarantined — its islands are
+        remapped round-robin onto surviving workers, shrinking to
+        serial-in-parent as the last resort.  ``None`` never
+        quarantines.
     """
 
     backend: str = "interpreter"
@@ -132,6 +155,7 @@ class EngineConfig:
     intra_threads: int = 1
     max_retries: int = 0
     retry_backoff: float = 0.0
+    retry_backoff_max: float = 30.0
     fault_specs: Tuple[str, ...] = ()
     collect_timings: bool = False
     halo: str = "recompute"
@@ -139,6 +163,9 @@ class EngineConfig:
     workers: Optional[int] = None
     pin_workers: bool = False
     procs_inner: str = "compiled"
+    step_deadline: Optional[float] = None
+    deadline_factor: Optional[float] = 8.0
+    quarantine_after: Optional[int] = 3
 
     def __post_init__(self) -> None:
         # Normalize (object.__setattr__: the dataclass is frozen) so two
@@ -167,6 +194,11 @@ class EngineConfig:
             raise ValueError("max_retries must be non-negative")
         if self.retry_backoff < 0:
             raise ValueError("retry_backoff must be non-negative")
+        object.__setattr__(
+            self, "retry_backoff_max", float(self.retry_backoff_max)
+        )
+        if self.retry_backoff_max <= 0:
+            raise ValueError("retry_backoff_max must be positive")
         if self.intra_threads > 1 and self.backend != "tiled":
             raise ValueError(
                 "intra_threads teams sweep (3+1)D blocks; pass block_shape"
@@ -219,6 +251,26 @@ class EngineConfig:
             object.__setattr__(self, "workers", int(self.workers))
             if self.workers < 1:
                 raise ValueError("workers must be positive (or None)")
+        if self.step_deadline is not None:
+            object.__setattr__(
+                self, "step_deadline", float(self.step_deadline)
+            )
+            if self.step_deadline <= 0:
+                raise ValueError("step_deadline must be positive (or None)")
+        if self.deadline_factor is not None:
+            object.__setattr__(
+                self, "deadline_factor", float(self.deadline_factor)
+            )
+            if self.deadline_factor <= 0:
+                raise ValueError("deadline_factor must be positive (or None)")
+        if self.quarantine_after is not None:
+            object.__setattr__(
+                self, "quarantine_after", int(self.quarantine_after)
+            )
+            if self.quarantine_after < 1:
+                raise ValueError(
+                    "quarantine_after must be at least 1 (or None)"
+                )
         if self.backend != "procs":
             if self.workers is not None:
                 raise ValueError(
@@ -228,6 +280,11 @@ class EngineConfig:
             if self.pin_workers:
                 raise ValueError(
                     f"pin_workers is a procs-backend option; got "
+                    f"backend={self.backend!r}"
+                )
+            if self.step_deadline is not None:
+                raise ValueError(
+                    f"step_deadline is a procs-backend option; got "
                     f"backend={self.backend!r}"
                 )
 
@@ -262,6 +319,7 @@ class EngineConfig:
             "intra_threads": self.intra_threads,
             "max_retries": self.max_retries,
             "retry_backoff": self.retry_backoff,
+            "retry_backoff_max": self.retry_backoff_max,
             "fault_specs": list(self.fault_specs),
             "collect_timings": self.collect_timings,
             "halo": self.halo,
@@ -269,6 +327,9 @@ class EngineConfig:
             "workers": self.workers,
             "pin_workers": self.pin_workers,
             "procs_inner": self.procs_inner,
+            "step_deadline": self.step_deadline,
+            "deadline_factor": self.deadline_factor,
+            "quarantine_after": self.quarantine_after,
         }
 
     @classmethod
@@ -347,6 +408,17 @@ class EngineConfig:
                 "--tiled/--block-shape/--autotune-blocks"
             )
         procs = backend == "procs"
+        # Supervision flags: absent/None keeps the config defaults; an
+        # explicit 0 for --deadline-factor / --quarantine-after disables
+        # that half of the supervision (mapped to None here).
+        supervision: Dict[str, Any] = {}
+        if procs:
+            factor = getattr(args, "deadline_factor", None)
+            if factor is not None:
+                supervision["deadline_factor"] = factor or None
+            after = getattr(args, "quarantine_after", None)
+            if after is not None:
+                supervision["quarantine_after"] = after or None
         return cls(
             backend=backend,
             workers=getattr(args, "workers", None) if procs else None,
@@ -358,6 +430,10 @@ class EngineConfig:
                 if procs and not getattr(args, "compiled", False)
                 else "compiled"
             ),
+            step_deadline=(
+                getattr(args, "step_deadline", None) if procs else None
+            ),
+            **supervision,
             threads=getattr(args, "threads", 1),
             reuse_buffers=True,
             reuse_output=True,

@@ -10,7 +10,7 @@ every fault names the island index, the time step, and how many attempts
 it fires for, which makes each recovery path — retry, rollback, guard
 trip, degradation — individually testable and every test reproducible.
 
-Four fault kinds cover the failure modes a long stencil run actually
+Five fault kinds cover the failure modes a long stencil run actually
 sees:
 
 ``crash``
@@ -27,6 +27,15 @@ sees:
     The island task sleeps before computing — a straggler island (the
     load-imbalance pathology of Sect. 4.1 pushed to the extreme).  Never
     wrong, only late; surfaced in :class:`FaultStats`.
+``hang``
+    The island's executor stops *responding* — wedged in a syscall,
+    spinning, silently dropping its reply — without dying.  Unlike
+    ``slow``, which completes late, a hang never completes: under the
+    ``procs`` backend the worker wedges mid-step and the parent's
+    deadline supervision detects it (:class:`WorkerHung`), SIGKILLs
+    and respawns the worker, and the retry replays the island.
+    In-process backends have no executor that can wedge recoverably,
+    so they skip the fault gracefully (counted, never applied).
 ``corrupt``
     The island writes a non-finite value into its part of the output —
     silent data corruption.  Invisible to retry (the task "succeeds"),
@@ -54,10 +63,11 @@ __all__ = [
     "FaultSpec",
     "FaultStats",
     "InjectedFault",
+    "WorkerHung",
     "parse_fault_spec",
 ]
 
-FAULT_KINDS = ("crash", "kill", "slow", "corrupt")
+FAULT_KINDS = ("crash", "kill", "slow", "corrupt", "hang")
 
 
 class InjectedFault(RuntimeError):
@@ -72,6 +82,41 @@ class InjectedFault(RuntimeError):
         self.attempt = attempt
 
 
+class WorkerHung(RuntimeError):
+    """An island's executor missed its deadline and was killed.
+
+    Raised by the parent-side watchdog of a supervised backend (the
+    ``procs`` backend's deadline-driven dispatch) after it SIGKILLed the
+    wedged worker: the command was sent, no reply arrived within
+    ``deadline`` seconds, and the process was still alive — a hang, not
+    a crash.  ``waited`` is the detection latency actually paid.  The
+    resilience layer treats it like any island fault: retry triggers a
+    respawn and the step replays bit-identically.
+
+    Lives here rather than next to the backend so the resilience layer
+    (which backends must not import) can account for hangs without an
+    import cycle.
+    """
+
+    def __init__(
+        self,
+        island: int,
+        worker: int,
+        pid: Optional[int],
+        waited: float,
+        deadline: float,
+    ) -> None:
+        super().__init__(
+            f"worker {worker} (pid {pid}) hung on island {island}: no "
+            f"reply after {waited:.3f}s (deadline {deadline:.3f}s); killed"
+        )
+        self.island = island
+        self.worker = worker
+        self.pid = pid
+        self.waited = waited
+        self.deadline = deadline
+
+
 @dataclass(frozen=True)
 class FaultSpec:
     """One deterministic fault site.
@@ -79,7 +124,7 @@ class FaultSpec:
     Parameters
     ----------
     kind:
-        ``"crash"``, ``"kill"``, ``"slow"`` or ``"corrupt"``.
+        ``"crash"``, ``"kill"``, ``"slow"``, ``"corrupt"`` or ``"hang"``.
     island:
         Island index the fault targets.
     step:
@@ -171,6 +216,11 @@ class FaultStats:
     injected_kills: int = 0
     injected_slowdowns: int = 0
     injected_corruptions: int = 0
+    injected_hangs: int = 0
+    hangs_detected: int = 0
+    hang_detect_seconds: float = 0.0
+    quarantines: int = 0
+    islands_remapped: int = 0
     retries: int = 0
     retry_successes: int = 0
     islands_failed: int = 0
@@ -252,21 +302,31 @@ def apply_pre_faults(
     step: int,
     attempt: int,
     kill: Optional[Callable[[int, int, int], None]] = None,
+    hang: Optional[Callable[[int, int, int], None]] = None,
 ) -> None:
-    """Apply ``slow``, then ``kill``/``crash`` faults before an island computes.
+    """Apply ``slow``/``hang``, then ``kill``/``crash`` faults pre-compute.
 
     Sleeps are applied first so a site carrying both kinds is slow *and*
     then dies, the worst case.  ``kill`` is the backend's executor-death
     hook (:meth:`~repro.runtime.backends.IslandBackend.inject_kill`):
     the default raises :class:`InjectedFault` exactly like ``crash``,
     while the ``procs`` backend arms a real SIGKILL of the worker
-    process instead of raising.  Mutating ``stats`` here is safe: the
-    caller serializes per-island accounting (see ``PartitionedRunner``).
+    process instead of raising.  ``hang`` is the executor-wedge hook
+    (:meth:`~repro.runtime.backends.IslandBackend.inject_hang`): the
+    default is a graceful no-op — an in-process island cannot be wedged
+    and still recovered — while the ``procs`` backend arms a worker
+    that never replies, exercising the deadline watchdog.  Mutating
+    ``stats`` here is safe: the caller serializes per-island accounting
+    (see ``PartitionedRunner``).
     """
     for spec in fired:
         if spec.kind == "slow":
             stats.injected_slowdowns += 1
             time.sleep(spec.delay)
+        elif spec.kind == "hang":
+            stats.injected_hangs += 1
+            if hang is not None:
+                hang(island, step, attempt)
     for spec in fired:
         if spec.kind == "kill":
             stats.injected_kills += 1

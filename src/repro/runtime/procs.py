@@ -40,6 +40,25 @@ Teardown is guaranteed: segments are unlinked by :meth:`close`, by a
 even after an exception or ``KeyboardInterrupt`` — so no ``/dev/shm``
 blocks leak.  Workers never unlink (they exit via ``os._exit``), so a
 crashed worker cannot take the arena down with it.
+
+The pool is *deadline-supervised*: every parent-side dispatch waits for
+its reply with ``poll(timeout)`` against a per-command deadline — either
+explicit (``step_deadline``) or adaptive (:class:`DeadlineClock`: an
+EWMA of recent command durations times ``deadline_factor``, with a
+warm-up grace for freshly forked workers, whose first command also pays
+for rebuilding compute state).  A worker that misses its deadline while
+still alive is *hung*, not crashed — wedged in a syscall, spinning, or
+silently dropping its reply — and the watchdog SIGKILLs it and raises
+:class:`~repro.runtime.faults.WorkerHung`; the resilience layer retries,
+:meth:`ProcsBackend.refresh` respawns, and the replay is bit-identical.
+A per-worker health ledger counts consecutive failures: a worker that
+keeps failing is **quarantined** — killed for good, its islands remapped
+round-robin onto surviving workers (which ``adopt`` the extra compute
+state) — and when no worker survives, the pool degrades to
+**serial-in-parent**: the parent builds its own inner backend over the
+same shared buffers and the run finishes without worker processes at
+all.  Setting both ``step_deadline`` and ``deadline_factor`` to ``None``
+disables supervision and restores the unbounded blocking dispatch.
 """
 
 from __future__ import annotations
@@ -48,6 +67,7 @@ import multiprocessing
 import os
 import signal
 import threading
+import time
 import weakref
 from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -60,8 +80,10 @@ from ..stencil.program import StencilProgram
 from ..stencil.region import Box
 from .backends import BACKENDS, IslandBackend, IslandResult
 from .config import EngineConfig
+from .faults import InjectedFault, WorkerHung
 
 __all__ = [
+    "DeadlineClock",
     "ProcsBackend",
     "SharedArena",
     "WorkerCrashed",
@@ -190,12 +212,102 @@ class WorkerCrashed(RuntimeError):
         self.exitcode = exitcode
 
 
+#: Adaptive deadlines never drop below this many seconds: sub-second
+#: command jitter (GC, scheduler) must not read as a hang.
+DEADLINE_FLOOR = 1.0
+
+#: Deadline before any duration sample exists, and the grace a freshly
+#: forked worker gets for its first command (which also pays for
+#: rebuilding per-island compute state — compilation included).
+WARMUP_DEADLINE = 60.0
+
+#: EWMA smoothing factor for observed command durations.
+EWMA_ALPHA = 0.25
+
+
+class DeadlineClock:
+    """Per-command deadlines for supervised dispatch.
+
+    ``explicit`` (seconds) wins outright when set.  Otherwise, with a
+    ``factor``, the deadline adapts: an EWMA of observed command
+    durations times ``factor``, floored at :data:`DEADLINE_FLOOR`, and
+    :data:`WARMUP_DEADLINE` while no sample exists yet or the target
+    worker is freshly forked (its first command rebuilds compute state
+    and must not be mistaken for a hang — otherwise a tight adapted
+    deadline would kill every respawn forever).  With neither set there
+    is no deadline: :meth:`current` returns ``None`` and dispatch
+    blocks unbounded, exactly the pre-supervision behaviour.
+    """
+
+    def __init__(
+        self,
+        explicit: Optional[float],
+        factor: Optional[float],
+        *,
+        floor: float = DEADLINE_FLOOR,
+        warmup: float = WARMUP_DEADLINE,
+    ) -> None:
+        self.explicit = explicit
+        self.factor = factor
+        self.floor = floor
+        self.warmup = warmup
+        self._ewma: Optional[float] = None
+        self._lock = threading.Lock()
+
+    @property
+    def supervised(self) -> bool:
+        return self.explicit is not None or self.factor is not None
+
+    @property
+    def ewma(self) -> Optional[float]:
+        with self._lock:
+            return self._ewma
+
+    def current(self, fresh: bool = False) -> Optional[float]:
+        """The deadline for the next command (``None``: unsupervised)."""
+        if self.explicit is not None:
+            return self.explicit
+        if self.factor is None:
+            return None
+        with self._lock:
+            ewma = self._ewma
+        if ewma is None or fresh:
+            return self.warmup
+        return max(self.floor, ewma * self.factor)
+
+    def observe(self, seconds: float) -> None:
+        """Feed one successful command's duration into the EWMA."""
+        with self._lock:
+            if self._ewma is None:
+                self._ewma = seconds
+            else:
+                self._ewma += EWMA_ALPHA * (seconds - self._ewma)
+
+
+@dataclass
+class _WorkerHealth:
+    """One worker's failure ledger (parent side, under ``_health_lock``).
+
+    ``consecutive_failures`` counts hangs and crashes since the last
+    successful reply; crossing ``quarantine_after`` quarantines the
+    worker.  The totals persist across respawns — a worker identity is
+    its slot, not its pid.
+    """
+
+    hangs: int = 0
+    crashes: int = 0
+    consecutive_failures: int = 0
+    quarantined: bool = False
+
+
 class _WorkerHandle:
     """Parent-side state of one worker process.
 
     ``lock`` serializes every use of the pipe *and* respawning, so two
     islands multiplexed onto one worker never interleave their commands
-    and never race a respawn.
+    and never race a respawn.  ``fresh`` marks a just-forked worker
+    whose first command still has to rebuild compute state: supervised
+    dispatch grants it the warm-up deadline instead of the adapted one.
     """
 
     def __init__(self, worker_id: int, islands: Tuple[int, ...]) -> None:
@@ -204,6 +316,7 @@ class _WorkerHandle:
         self.process = None
         self.conn = None
         self.lock = threading.Lock()
+        self.fresh = True
 
 
 def _finalize_backend(handles: List[_WorkerHandle], arena: SharedArena) -> None:
@@ -241,6 +354,9 @@ class ProcsBackend(IslandBackend):
         workers: Optional[int] = None,
         pin_workers: bool = False,
         inner: str = "compiled",
+        step_deadline: Optional[float] = None,
+        deadline_factor: Optional[float] = 8.0,
+        quarantine_after: Optional[int] = 3,
     ) -> None:
         if "fork" not in multiprocessing.get_all_start_methods():
             raise RuntimeError(
@@ -265,6 +381,7 @@ class ProcsBackend(IslandBackend):
         self.workers = count if workers is None else max(1, min(workers, count))
         self.pin_workers = pin_workers
         self.inner = inner
+        self.quarantine_after = quarantine_after
         self._ctx = multiprocessing.get_context("fork")
         self._arena = SharedArena(f"{SEGMENT_PREFIX}-{os.getpid()}-{id(self):x}")
         self._input_regions: Dict[str, ArrayRegion] = {}
@@ -272,7 +389,20 @@ class ProcsBackend(IslandBackend):
         self._handles: List[_WorkerHandle] = []
         self._by_island: Dict[int, _WorkerHandle] = {}
         self._pending_kill: set = set()
+        self._pending_hang: set = set()
         self._kill_lock = threading.Lock()
+        self._clock = DeadlineClock(step_deadline, deadline_factor)
+        self._health: Dict[int, _WorkerHealth] = {}
+        self._health_lock = threading.Lock()
+        # _remap_lock serializes quarantine decisions and island remaps;
+        # it nests *outside* handle locks and dispatch never takes it.
+        self._remap_lock = threading.Lock()
+        self._quarantine_events = 0
+        self._remap_events = 0
+        self._serial = False
+        self._parent_inner: Optional[IslandBackend] = None
+        self._serial_lock = threading.Lock()
+        self._close_grace = 5.0
         self._closed = False
         self._finalizer = weakref.finalize(
             self, _finalize_backend, self._handles, self._arena
@@ -299,6 +429,9 @@ class ProcsBackend(IslandBackend):
             workers=config.workers,
             pin_workers=config.pin_workers,
             inner=config.procs_inner,
+            step_deadline=config.step_deadline,
+            deadline_factor=config.deadline_factor,
+            quarantine_after=config.quarantine_after,
         )
 
     # ------------------------------------------------------------------
@@ -361,6 +494,7 @@ class ProcsBackend(IslandBackend):
             )
             handle = _WorkerHandle(worker_id, mine)
             self._handles.append(handle)
+            self._health[worker_id] = _WorkerHealth()
             for q in mine:
                 self._by_island[q] = handle
             self._start_worker(handle)
@@ -377,23 +511,48 @@ class ProcsBackend(IslandBackend):
         child_conn.close()
         handle.process = process
         handle.conn = parent_conn
+        handle.fresh = True
 
     def refresh(self, island_index: int) -> None:
-        """Fresh compute state for one island — respawning if needed.
+        """Fresh compute state for one island — respawn, quarantine, remap.
 
-        A live worker refreshes the island's inner arenas in place; a
-        dead one (real crash, SIGKILL) is reaped and re-forked, which
-        rebinds its shared-memory views and rebuilds all of its islands'
-        state from scratch.
+        The supervision ladder, rung by rung: in serial-fallback mode the
+        parent's own inner backend refreshes the island; a worker whose
+        consecutive-failure count crossed ``quarantine_after`` is
+        quarantined and its islands remapped onto survivors (or the pool
+        degrades to serial when none remain); a live worker refreshes the
+        island's inner arenas in place — awaited with a bounded ``poll``,
+        so a worker wedged *during refresh* falls through to respawn
+        instead of deadlocking the retry path; a dead or unresponsive
+        worker is reaped and re-forked, which rebinds its shared-memory
+        views and rebuilds all of its islands' state from scratch.
         """
+        if self._serial:
+            self._ensure_parent_inner().refresh(island_index)
+            return
+        with self._remap_lock:
+            if self._serial:  # lost the race to the last quarantine
+                self._ensure_parent_inner().refresh(island_index)
+                return
+            handle = self._by_island[island_index]
+            if self._should_quarantine(handle):
+                self._quarantine_locked(handle)
+                if self._serial:
+                    self._ensure_parent_inner().refresh(island_index)
+                return
         handle = self._by_island[island_index]
         with handle.lock:
             if handle.process is not None and handle.process.is_alive():
                 try:
                     handle.conn.send(("refresh", island_index))
-                    reply = handle.conn.recv()
-                    if reply[0] == "ok":
-                        return
+                    deadline = self._clock.current(fresh=handle.fresh)
+                    timeout = 5.0 if deadline is None else deadline
+                    if handle.conn.poll(timeout):
+                        reply = handle.conn.recv()
+                        if reply[0] == "ok":
+                            return
+                    # timeout (wedged mid-refresh) or a protocol error:
+                    # fall through to respawn
                 except (EOFError, OSError):
                     pass  # died under us; fall through to respawn
             self._respawn_locked(handle)
@@ -411,8 +570,173 @@ class ProcsBackend(IslandBackend):
                 pass
         self._start_worker(handle)
 
+    # ------------------------------------------------------------------
+    # Health ledger, quarantine and degraded modes
+    # ------------------------------------------------------------------
+    def _record_failure(self, handle: _WorkerHandle, *, hang: bool) -> None:
+        with self._health_lock:
+            health = self._health[handle.worker_id]
+            if hang:
+                health.hangs += 1
+            else:
+                health.crashes += 1
+            health.consecutive_failures += 1
+
+    def _record_success(self, handle: _WorkerHandle) -> None:
+        with self._health_lock:
+            self._health[handle.worker_id].consecutive_failures = 0
+
+    def worker_health(self, worker_id: int) -> _WorkerHealth:
+        """A snapshot copy of one worker's health ledger (test hook)."""
+        with self._health_lock:
+            health = self._health[worker_id]
+            return _WorkerHealth(
+                hangs=health.hangs,
+                crashes=health.crashes,
+                consecutive_failures=health.consecutive_failures,
+                quarantined=health.quarantined,
+            )
+
+    def _should_quarantine(self, handle: _WorkerHandle) -> bool:
+        if self.quarantine_after is None:
+            return False
+        with self._health_lock:
+            health = self._health[handle.worker_id]
+            return (
+                not health.quarantined
+                and health.consecutive_failures >= self.quarantine_after
+            )
+
+    def _quarantine_locked(self, handle: _WorkerHandle) -> None:
+        """Retire one worker for good; remap its islands (remap_lock held).
+
+        The worker is killed rather than respawned — ``quarantine_after``
+        consecutive failures mean respawning does not help (a poisoned
+        core, a broken mapping) — and its islands go round-robin onto the
+        non-quarantined survivors, each of which rebuilds its inner
+        backend to cover the adopted islands.  With no survivor left the
+        pool enters serial-in-parent mode.
+        """
+        with self._health_lock:
+            self._health[handle.worker_id].quarantined = True
+        self._quarantine_events += 1
+        with handle.lock:
+            process = handle.process
+            if process is not None:
+                if process.is_alive():
+                    process.kill()
+                process.join(timeout=5.0)
+                handle.process = None
+            if handle.conn is not None:
+                try:
+                    handle.conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+                handle.conn = None
+        orphans = handle.islands
+        handle.islands = ()
+        with self._health_lock:
+            survivors = [
+                h
+                for h in self._handles
+                if not self._health[h.worker_id].quarantined
+            ]
+        self._remap_events += len(orphans)
+        if not survivors:
+            self._enter_serial_locked()
+            return
+        for position, island_index in enumerate(orphans):
+            target = survivors[position % len(survivors)]
+            self._by_island[island_index] = target
+            target.islands = target.islands + (island_index,)
+            self._adopt(target, island_index)
+
+    def _adopt(self, handle: _WorkerHandle, island_index: int) -> None:
+        """Make one surviving worker cover one more island, bounded.
+
+        The adopt command rebuilds the worker's inner backend (compute
+        state for the adopted island included), so it gets the warm-up
+        deadline; an adopter that dies or wedges during the handover is
+        simply respawned — its island tuple already includes the orphan,
+        so the fresh fork covers it.
+        """
+        with handle.lock:
+            if handle.process is not None and handle.process.is_alive():
+                try:
+                    handle.conn.send(("adopt", island_index))
+                    if handle.conn.poll(self._clock.warmup):
+                        reply = handle.conn.recv()
+                        if reply[0] == "ok":
+                            handle.fresh = True  # cold state for the orphan
+                            return
+                except (EOFError, OSError):
+                    pass
+            self._respawn_locked(handle)
+
+    def _enter_serial_locked(self) -> None:
+        """Last resort: no worker left — the parent computes everything."""
+        self._serial = True
+        with self._kill_lock:
+            self._pending_kill.clear()
+            self._pending_hang.clear()
+
+    def _ensure_parent_inner(self) -> IslandBackend:
+        """The parent's own inner backend over the full decomposition.
+
+        Built lazily on first use (entering serial mode is rare), bound
+        to the same shared buffers the workers used: ghost inputs and the
+        output arena are read/written directly, and in exchange mode the
+        parent inner *adopts* the existing shared stage buffers, so the
+        halo-copy loop and trajectory stay bit-identical.
+        """
+        with self._serial_lock:
+            inner = self._parent_inner
+            if inner is None:
+                inner = BACKENDS[self.inner](
+                    self.program,
+                    self.decomposition,
+                    clip_domain=self.clip_domain,
+                    output_field=self.output_field,
+                    dtype=self.dtype,
+                    reuse_buffers=True,
+                    timed=self.timed,
+                )
+                if self._ledger is not None:
+                    inner.adopt_exchange_state(
+                        self._ledger, self._stage_buffers
+                    )
+                else:
+                    inner.prepare()
+                self._parent_inner = inner
+        return inner
+
+    def health_events(self) -> Tuple[int, int]:
+        """Drain ``(quarantines, islands_remapped)`` since the last call."""
+        with self._remap_lock:
+            events = (self._quarantine_events, self._remap_events)
+            self._quarantine_events = 0
+            self._remap_events = 0
+        return events
+
+    @property
+    def serial_fallback(self) -> bool:
+        """True once the pool degraded to serial-in-parent execution."""
+        return self._serial
+
+    @property
+    def deadline_clock(self) -> DeadlineClock:
+        """The supervision clock (test and benchmark hook)."""
+        return self._clock
+
     def close(self) -> None:
-        """Stop every worker and unlink every segment (idempotent)."""
+        """Stop every worker and unlink every segment (idempotent).
+
+        Shutdown is concurrent: every worker gets its close message
+        first, then all are joined against *one* shared grace deadline
+        (``_close_grace`` seconds total, not per worker), and whoever is
+        still alive past it is SIGKILLed and reaped — so N wedged
+        workers cost one grace period, not N.
+        """
         if self._closed:
             return
         self._closed = True
@@ -423,14 +747,17 @@ class ProcsBackend(IslandBackend):
                         handle.conn.send(("close",))
                     except (OSError, ValueError):
                         pass
+        grace_until = time.monotonic() + self._close_grace
         for handle in self._handles:
             with handle.lock:
                 process = handle.process
                 if process is not None:
-                    process.join(timeout=5.0)
-                    if process.is_alive():  # pragma: no cover - wedged
+                    process.join(
+                        timeout=max(0.0, grace_until - time.monotonic())
+                    )
+                    if process.is_alive():  # wedged: escalate immediately
                         process.kill()
-                        process.join(timeout=5.0)
+                        process.join(timeout=5.0)  # reaping SIGKILL is fast
                     handle.process = None
                 if handle.conn is not None:
                     try:
@@ -444,9 +771,28 @@ class ProcsBackend(IslandBackend):
     # Fault hooks
     # ------------------------------------------------------------------
     def inject_kill(self, island: int, step: int, attempt: int) -> None:
-        """Arm a real SIGKILL: the island's worker dies mid-step."""
+        """Arm a real SIGKILL: the island's worker dies mid-step.
+
+        In serial-fallback mode there is no worker process left to kill,
+        so the fault degrades to a ``crash`` exactly like the in-process
+        backends.
+        """
+        if self._serial:
+            raise InjectedFault(island, step, attempt)
         with self._kill_lock:
             self._pending_kill.add(island)
+
+    def inject_hang(self, island: int, step: int, attempt: int) -> None:
+        """Arm a wedge: the island's worker stops replying mid-step.
+
+        In serial-fallback mode the fault is skipped gracefully — a
+        wedged parent cannot be recovered from within, the same reason
+        in-process backends skip it.
+        """
+        if self._serial:
+            return
+        with self._kill_lock:
+            self._pending_hang.add(island)
 
     def _take_kill(self, island: int) -> bool:
         with self._kill_lock:
@@ -455,16 +801,60 @@ class ProcsBackend(IslandBackend):
                 return True
             return False
 
+    def _take_hang(self, island: int) -> bool:
+        with self._kill_lock:
+            if island in self._pending_hang:
+                self._pending_hang.discard(island)
+                return True
+            return False
+
     # ------------------------------------------------------------------
     # Dispatch (parent side)
     # ------------------------------------------------------------------
     def _dispatch(self, island_index: int, command: tuple) -> IslandResult:
+        """Send one command and await its reply under the deadline.
+
+        Three outcomes: a reply in time (success — the duration feeds
+        the adaptive clock); a dead pipe (``poll`` returns instantly on
+        EOF, ``recv`` raises — :class:`WorkerCrashed`); or deadline
+        expiry with the process still alive — a *hang*: the watchdog
+        SIGKILLs the worker and raises
+        :class:`~repro.runtime.faults.WorkerHung` carrying the detection
+        latency actually paid.  An unsupervised pool (no deadline)
+        blocks in ``recv`` exactly as before.
+        """
         handle = self._by_island[island_index]
         with handle.lock:
+            if handle.conn is None:
+                # Quarantined between our lookup and the lock: surface a
+                # crash so the retry path re-resolves the remapped owner.
+                raise WorkerCrashed(
+                    island_index, handle.worker_id, None, None
+                )
+            deadline = self._clock.current(fresh=handle.fresh)
+            begin = time.perf_counter()
             try:
                 handle.conn.send(command)
-                reply = handle.conn.recv()
+                if deadline is None:
+                    reply = handle.conn.recv()
+                else:
+                    if not handle.conn.poll(deadline):
+                        waited = time.perf_counter() - begin
+                        process = handle.process
+                        pid = None if process is None else process.pid
+                        if process is not None and process.is_alive():
+                            process.kill()
+                        self._record_failure(handle, hang=True)
+                        raise WorkerHung(
+                            island_index,
+                            handle.worker_id,
+                            pid,
+                            waited,
+                            deadline,
+                        )
+                    reply = handle.conn.recv()
             except (EOFError, OSError) as error:
+                self._record_failure(handle, hang=False)
                 process = handle.process
                 raise WorkerCrashed(
                     island_index,
@@ -472,6 +862,9 @@ class ProcsBackend(IslandBackend):
                     None if process is None else process.pid,
                     None if process is None else process.exitcode,
                 ) from error
+            self._clock.observe(time.perf_counter() - begin)
+            handle.fresh = False
+        self._record_success(handle)
         if reply[0] != "ok":
             raise RuntimeError(
                 f"island {island_index} failed in worker "
@@ -481,8 +874,19 @@ class ProcsBackend(IslandBackend):
 
     def execute_island(self, island, inputs, out) -> IslandResult:
         self._sync_inputs(inputs)
+        if self._serial:
+            self._take_kill(island.index)  # stale arms are void in serial
+            self._take_hang(island.index)
+            inner = self._ensure_parent_inner()
+            return inner.execute_island(island, inputs, out)
         result = self._dispatch(
-            island.index, ("step", island.index, self._take_kill(island.index))
+            island.index,
+            (
+                "step",
+                island.index,
+                self._take_kill(island.index),
+                self._take_hang(island.index),
+            ),
         )
         if out is not self._output:  # direct caller with a foreign buffer
             out[island.part.slices()] = self._output[island.part.slices()]
@@ -490,9 +894,20 @@ class ProcsBackend(IslandBackend):
 
     def _execute_stage(self, island, stage_index, inputs) -> IslandResult:
         self._sync_inputs(inputs)
+        if self._serial:
+            self._take_kill(island.index)
+            self._take_hang(island.index)
+            inner = self._ensure_parent_inner()
+            return inner._execute_stage(island, stage_index, inputs)
         return self._dispatch(
             island.index,
-            ("stage", island.index, stage_index, self._take_kill(island.index)),
+            (
+                "stage",
+                island.index,
+                stage_index,
+                self._take_kill(island.index),
+                self._take_hang(island.index),
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -522,23 +937,31 @@ class ProcsBackend(IslandBackend):
         by_index = {
             island.index: island for island in self.decomposition.islands
         }
-        mine = tuple(by_index[q] for q in islands)
         inner_cls = BACKENDS[self.inner]
-        inner = inner_cls(
-            self.program,
-            replace(self.decomposition, islands=mine),
-            clip_domain=self.clip_domain,
-            output_field=self.output_field,
-            dtype=self.dtype,
-            reuse_buffers=True,
-            timed=self.timed,
-        )
-        if self._ledger is not None:
-            # First-touch-style: this worker binds its own compute state
-            # to the shared stage buffers it inherited from the fork.
-            inner.adopt_exchange_state(self._ledger, self._stage_buffers)
-        else:
-            inner.prepare()
+
+        def build_inner(island_ids: Tuple[int, ...]):
+            built = inner_cls(
+                self.program,
+                replace(
+                    self.decomposition,
+                    islands=tuple(by_index[q] for q in island_ids),
+                ),
+                clip_domain=self.clip_domain,
+                output_field=self.output_field,
+                dtype=self.dtype,
+                reuse_buffers=True,
+                timed=self.timed,
+            )
+            if self._ledger is not None:
+                # First-touch-style: this worker binds its own compute
+                # state to the shared stage buffers inherited at fork.
+                built.adopt_exchange_state(self._ledger, self._stage_buffers)
+            else:
+                built.prepare()
+            return built
+
+        mine = list(islands)
+        inner = build_inner(tuple(mine))
         inputs = self._input_regions
         out = self._output
         while True:
@@ -549,10 +972,21 @@ class ProcsBackend(IslandBackend):
             if op == "refresh":
                 inner.refresh(command[1])
                 conn.send(("ok", None))
+            elif op == "adopt":
+                # Take over a quarantined sibling's island: rebuild the
+                # inner backend so its compute state covers it too.
+                q = command[1]
+                if q not in mine:
+                    mine.append(q)
+                    inner = build_inner(tuple(mine))
+                conn.send(("ok", None))
             elif op == "step":
-                _, q, die = command
+                _, q, die, wedge = command
                 if die:
                     os.kill(os.getpid(), signal.SIGKILL)
+                if wedge:
+                    while True:  # hung, not dead: the pipe stays open
+                        time.sleep(3600.0)
                 try:
                     result = inner.execute_island(by_index[q], inputs, out)
                 except Exception as error:
@@ -560,9 +994,12 @@ class ProcsBackend(IslandBackend):
                 else:
                     conn.send(("ok", result))
             elif op == "stage":
-                _, q, stage_index, die = command
+                _, q, stage_index, die, wedge = command
                 if die:
                     os.kill(os.getpid(), signal.SIGKILL)
+                if wedge:
+                    while True:
+                        time.sleep(3600.0)
                 try:
                     result = inner.execute_island_stage(
                         by_index[q], stage_index, inputs

@@ -145,6 +145,7 @@ class RecoveryReport:
     last_checkpoint_step: int = 0
     last_checkpoint_path: Optional[Path] = None
     degraded_to_serial: bool = False
+    pool_serial: bool = False
     fault_stats: FaultStats = field(default_factory=FaultStats)
 
     @property
@@ -155,6 +156,7 @@ class RecoveryReport:
             and self.guard_trips == 0
             and self.fault_stats.retries == 0
             and not self.degraded_to_serial
+            and not self.pool_serial
         )
 
     def render(self) -> str:
@@ -180,9 +182,20 @@ class RecoveryReport:
                 f"  injected faults     {stats.injected_crashes} crash,"
                 f" {stats.injected_kills} kill,"
                 f" {stats.injected_slowdowns} slow,"
-                f" {stats.injected_corruptions} corrupt",
+                f" {stats.injected_corruptions} corrupt,"
+                f" {stats.injected_hangs} hang",
+                f"  hangs detected      {stats.hangs_detected}"
+                + (
+                    f" (mean detection latency "
+                    f"{stats.hang_detect_seconds / stats.hangs_detected:.3f}s)"
+                    if stats.hangs_detected
+                    else ""
+                ),
+                f"  workers quarantined {stats.quarantines}"
+                f" ({stats.islands_remapped} islands remapped)",
                 f"  degraded to serial  "
-                f"{'yes' if self.degraded_to_serial else 'no'}",
+                f"{'yes' if self.degraded_to_serial else 'no'}"
+                + (" (worker pool exhausted)" if self.pool_serial else ""),
             ]
         )
 
@@ -278,6 +291,7 @@ def run_with_recovery(
             if report.rollbacks >= policy.max_rollbacks:
                 report.completed_steps = good_step
                 report.degraded_to_serial = runner.degraded
+                report.pool_serial = runner.backend.serial_fallback
                 report.fault_stats = runner.fault_stats.since(fault_base)
                 solver.last_recovery_report = report
                 raise UnrecoverableRunError(
@@ -305,6 +319,7 @@ def run_with_recovery(
 
     report.completed_steps = steps
     report.degraded_to_serial = runner.degraded
+    report.pool_serial = runner.backend.serial_fallback
     report.fault_stats = runner.fault_stats.since(fault_base)
     solver.last_recovery_report = report
     return arrays[FIELD_X], report

@@ -31,6 +31,7 @@ from .config import EngineConfig
 from .faults import (
     FaultInjector,
     FaultStats,
+    WorkerHung,
     apply_post_faults,
     apply_pre_faults,
 )
@@ -66,26 +67,52 @@ class ResiliencePolicy:
     ``max_retries`` is the per-island retry budget within one step (an
     island fails its step after ``1 + max_retries`` attempts);
     ``retry_backoff`` the base sleep before retry N, growing as
-    ``retry_backoff * 2**(N-1)``.  Zero backoff retries immediately —
-    the in-process failure modes retry targets are transient task
-    faults, not contended external resources.
+    ``retry_backoff * 2**(N-1)`` but saturating at
+    ``retry_backoff_max`` — an unbounded exponential turns a persistent
+    fault into an unbounded stall.  The actual sleep carries a
+    deterministic down-jitter derived from the (island, step, attempt)
+    site, so concurrent islands retrying the same step do not thunder
+    in lockstep yet every run remains reproducible.  Zero backoff
+    retries immediately — the in-process failure modes retry targets
+    are transient task faults, not contended external resources.
     """
 
     max_retries: int = 0
     retry_backoff: float = 0.0
+    retry_backoff_max: float = 30.0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
             raise ValueError("max_retries must be non-negative")
         if self.retry_backoff < 0:
             raise ValueError("retry_backoff must be non-negative")
+        if self.retry_backoff_max <= 0:
+            raise ValueError("retry_backoff_max must be positive")
 
     @classmethod
     def from_config(cls, config: EngineConfig) -> "ResiliencePolicy":
         return cls(
             max_retries=config.max_retries,
             retry_backoff=config.retry_backoff,
+            retry_backoff_max=config.retry_backoff_max,
         )
+
+    def backoff_seconds(self, island: int, step: int, attempt: int) -> float:
+        """The bounded, deterministically jittered sleep before retry N.
+
+        ``retry_backoff * 2**(N-1)`` capped at ``retry_backoff_max``,
+        then shaved by up to 15% — the jitter fraction is a hash of the
+        retry site, so it desynchronizes concurrent islands without
+        introducing run-to-run nondeterminism, and shaving (never
+        adding) keeps the cap a true ceiling.
+        """
+        if not self.retry_backoff:
+            return 0.0
+        base = min(
+            self.retry_backoff * (2 ** (attempt - 1)), self.retry_backoff_max
+        )
+        frac = ((island * 40503 + step * 9973 + attempt * 271) % 1000) / 999.0
+        return base * (1.0 - 0.15 * frac)
 
 
 class ResilientExecutor:
@@ -126,6 +153,7 @@ class ResilientExecutor:
             apply_pre_faults(
                 fired, fault_stats(), island.index, step_index, attempt,
                 kill=self.backend.inject_kill,
+                hang=self.backend.inject_hang,
             )
         begin = time.perf_counter() if self.backend.timed else 0.0
         result = self.backend.execute_island(island, inputs, out)
@@ -153,6 +181,7 @@ class ResilientExecutor:
             apply_pre_faults(
                 fired, fault_stats(), island.index, step_index, attempt,
                 kill=self.backend.inject_kill,
+                hang=self.backend.inject_hang,
             )
         begin = time.perf_counter() if self.backend.timed else 0.0
         result = self.backend.execute_island_stage(island, stage_index, inputs)
@@ -185,17 +214,26 @@ class ResilientExecutor:
                 result = attempt_fn(attempt)
             except Exception as error:
                 attempt += 1
+                stats = fault_stats()
+                if isinstance(error, WorkerHung):
+                    stats.hangs_detected += 1
+                    stats.hang_detect_seconds += error.waited
                 if attempt > self.policy.max_retries:
-                    stats = fault_stats()
                     stats.islands_failed += 1
                     raise IslandFailure(
                         island.index, step_index, attempt, error
                     ) from error
-                stats = fault_stats()
                 stats.retries += 1
                 self.backend.refresh(island.index)
+                quarantines, remapped = self.backend.health_events()
+                stats.quarantines += quarantines
+                stats.islands_remapped += remapped
                 if self.policy.retry_backoff:
-                    time.sleep(self.policy.retry_backoff * (2 ** (attempt - 1)))
+                    time.sleep(
+                        self.policy.backoff_seconds(
+                            island.index, step_index, attempt
+                        )
+                    )
             else:
                 if attempt:
                     fault_stats().retry_successes += 1

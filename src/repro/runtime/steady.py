@@ -188,6 +188,9 @@ def measure_steady_state(
     backend: Optional[str] = None,
     workers: Optional[int] = None,
     pin_workers: bool = False,
+    step_deadline: Optional[float] = None,
+    deadline_factor: Optional[float] = None,
+    quarantine_after: Optional[int] = None,
 ) -> SteadyStateReport:
     """Measure naive vs engine stepping on one configuration.
 
@@ -199,8 +202,11 @@ def measure_steady_state(
     exchange / hybrid); ``partition_grid=(pi, pj)`` decomposes over a 2D
     island grid instead of 1D slabs (``variant`` must be ``GRID_2D``).
     ``backend`` overrides the ``compiled`` flag with an explicit registry
-    key (e.g. ``"procs"``, whose worker count and CPU pinning come from
-    ``workers`` / ``pin_workers``).
+    key (e.g. ``"procs"``, whose worker count, CPU pinning and deadline
+    supervision come from ``workers`` / ``pin_workers`` /
+    ``step_deadline`` / ``deadline_factor`` / ``quarantine_after``;
+    ``None`` for the last three keeps the config defaults, and ``0`` for
+    the factor or quarantine threshold disables that half).
     """
     if state is None:
         state = random_state(shape, seed=seed)
@@ -212,6 +218,12 @@ def measure_steady_state(
     if backend is None:
         backend = "compiled" if compiled else "interpreter"
     procs = backend == "procs"
+    supervision = {}
+    if procs:
+        if deadline_factor is not None:
+            supervision["deadline_factor"] = deadline_factor or None
+        if quarantine_after is not None:
+            supervision["quarantine_after"] = quarantine_after or None
     base = EngineConfig(
         backend=backend,
         boundary=boundary,
@@ -220,6 +232,8 @@ def measure_steady_state(
         halo_threshold=halo_threshold,
         workers=workers if procs else None,
         pin_workers=pin_workers if procs else False,
+        step_deadline=step_deadline if procs else None,
+        **supervision,
     )
     report = SteadyStateReport(
         shape=tuple(shape),

@@ -18,6 +18,7 @@ from repro.runtime import (
     IslandFailure,
     MpdataIslandSolver,
     PartitionedRunner,
+    ResiliencePolicy,
     parse_fault_spec,
 )
 
@@ -191,7 +192,15 @@ class TestPerIslandRetry:
             max_retries=3, retry_backoff=0.5, fault_injector=injector,
         ) as runner:
             runner.step(_arrays(state))
-        assert sleeps == [0.5, 1.0]  # exponential backoff per attempt
+        # Exponential backoff per attempt, with the policy's deterministic
+        # down-jitter applied (never above the unjittered exponential).
+        policy = ResiliencePolicy(max_retries=3, retry_backoff=0.5)
+        assert sleeps == [
+            policy.backoff_seconds(0, 0, 1),
+            policy.backoff_seconds(0, 0, 2),
+        ]
+        assert 0.0 < sleeps[0] <= 0.5
+        assert sleeps[0] < sleeps[1] <= 1.0
 
 
 class TestSlowAndCorruptFaults:
