@@ -176,6 +176,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="2D island grid extents (requires --variant 2D)",
     )
     engine.add_argument(
+        "--sync-every", type=int, default=1, metavar="S",
+        help="temporal blocking: islands synchronize once per S time "
+        "steps, running the whole S-step cascade locally on halos deep "
+        "enough for it — S x fewer barriers for ~linear extra redundant "
+        "work (default 1; periodic boundaries only)",
+    )
+    engine.add_argument(
         "--json", metavar="PATH", default=None,
         help="also write the report as JSON (e.g. BENCH_steady_state.json)",
     )
@@ -183,6 +190,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry-jsonl", metavar="PATH", default=None,
         help="stream per-step telemetry events (allocations, reuse, wall "
         "time, fault activity) to a JSON Lines file",
+    )
+    engine.add_argument(
+        "--telemetry-table", action="store_true",
+        help="print the per-(super-)step telemetry table (steps advanced, "
+        "wall time, allocations, syncs) plus run-level sync totals",
     )
     tiled = engine.add_argument_group(
         "tiled (3+1)D backend",
@@ -453,6 +465,19 @@ def _validate_engine_args(parser, args) -> None:
         parser.error("--threads must be at least 1")
     if args.intra_threads < 1:
         parser.error("--intra-threads must be at least 1")
+    if args.sync_every < 1:
+        parser.error("--sync-every must be at least 1")
+    if args.sync_every > 1 and tiled_flags:
+        parser.error(
+            "the tiled comparison runs one step per sync; drop "
+            "--sync-every or the --tiled/--block-shape/--autotune-blocks "
+            "flags"
+        )
+    if args.telemetry_table and tiled_flags:
+        parser.error(
+            "--telemetry-table is wired to the steady-state and "
+            "fault-tolerant runs; drop the tiled flags"
+        )
     if args.backend == "tiled" and not tiled_flags:
         parser.error(
             "--backend tiled runs the tiled comparison; use --tiled "
@@ -540,6 +565,8 @@ def _run_engine(args) -> int:
         step_deadline=args.step_deadline,
         deadline_factor=args.deadline_factor,
         quarantine_after=args.quarantine_after,
+        sync_every=args.sync_every,
+        telemetry_table=args.telemetry_table,
     )
     json_path = args.json
     print(report.render())
@@ -634,7 +661,16 @@ def _run_engine_faults(args) -> int:
         mass_drift_limit=args.mass_drift_limit,
         max_rollbacks=args.rollbacks,
     )
-    with MpdataIslandSolver(shape, args.islands, config=config) as solver:
+    table_sink = None
+    telemetry = None
+    if args.telemetry_table:
+        from .runtime import TableSink, Telemetry
+
+        table_sink = TableSink()
+        telemetry = Telemetry([table_sink])
+    with MpdataIslandSolver(
+        shape, args.islands, config=config, telemetry=telemetry
+    ) as solver:
         try:
             final = solver.run(state, args.steps, recovery=policy)
         except UnrecoverableRunError as error:
@@ -644,6 +680,10 @@ def _run_engine_faults(args) -> int:
             return 1
         report = solver.last_recovery_report
 
+    if table_sink is not None and table_sink.rows:
+        print("per-step telemetry:")
+        print(table_sink.render())
+        print()
     print(report.render())
     identical = bool(np.array_equal(final, expected))
     print(f"bit-identical to fault-free run: {identical}")

@@ -27,7 +27,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..stencil import Box, HaloPlan, StencilProgram, required_regions
+from ..stencil import (
+    Box,
+    HaloPlan,
+    StencilProgram,
+    composed_step_plans,
+    recurrent_input,
+    required_regions,
+)
 from .partition import Partition
 
 __all__ = [
@@ -46,6 +53,8 @@ def island_halo_plans(
     program: StencilProgram,
     partition: Partition,
     clip_domain: Optional[Box] = None,
+    sync_every: int = 1,
+    recurrent: Optional[str] = None,
 ) -> Tuple[HaloPlan, ...]:
     """Backward halo plans for every island part of a partition.
 
@@ -53,10 +62,25 @@ def island_halo_plans(
     physical domain (``clip_domain=None``), executors clip to the
     ghost-extended domain.  Every consumer sees identical geometry for
     identical arguments.
+
+    With ``sync_every=s > 1`` the analysis composes across *steps*
+    (temporal blocking): each island's entry becomes the tuple of ``s``
+    :class:`~repro.stencil.halo.HaloPlan` objects, in execution order,
+    that chain the full cascade ``s`` times down to the island's part —
+    see :func:`repro.stencil.halo.composed_step_plans`.  With the
+    default ``sync_every=1`` the return value is unchanged: one plan
+    per island.
     """
     clip = clip_domain if clip_domain is not None else partition.domain
-    return tuple(
-        required_regions(program, part, domain=clip) for part in partition.parts
+    if sync_every == 1:
+        return tuple(
+            required_regions(program, part, domain=clip) for part in partition.parts
+        )
+    return tuple(  # type: ignore[return-value]
+        composed_step_plans(
+            program, part, domain=clip, sync_every=sync_every, recurrent=recurrent
+        )
+        for part in partition.parts
     )
 
 
@@ -79,27 +103,46 @@ class StageFlow:
 class HaloLedger:
     """Per-island, per-stage halo geometry under one policy.
 
+    With ``sync_every = s > 1`` (temporal blocking) the stage axis is
+    *flattened across sub-steps*: every per-stage tuple has length
+    ``s * len(program.stages)``, where flat index ``t`` addresses stage
+    ``t % stages`` of sub-step ``t // stages``.  All accounting
+    (``redundant_points``, flows, the Sect. 3.2 identity) then covers one
+    *super-step* of ``s`` time steps.
+
     Attributes
     ----------
     policy:
         One of :data:`HALO_POLICIES`.
     plans:
-        The shared backward halo plans, one per island (recompute geometry).
+        The shared backward halo plans, one per island (recompute geometry
+        of the *final* sub-step, targeting the island's part).
     global_boxes:
-        Per stage, the region the whole program must compute for the full
-        domain — the union of work no strategy can avoid.
+        Per flat stage, the region the whole program must compute for the
+        full domain — the union of work no strategy can avoid *given one
+        synchronization per super-step* (earlier sub-steps must reach
+        deeper, even for a single island).
     owned_boxes:
         Per island, its part extended outward to the clip domain on sides
         touching the physical boundary; owned boxes tile the clip domain.
     compute_boxes:
-        ``compute_boxes[island][stage]`` — the box that island computes for
-        that stage under this policy.
+        ``compute_boxes[island][t]`` — the box that island computes for
+        flat stage ``t`` under this policy.
     buffer_boxes:
-        ``buffer_boxes[island][stage]`` — the box the island must hold in
-        memory for that stage's output (computed part plus received halo).
+        ``buffer_boxes[island][t]`` — the box the island must hold in
+        memory for that flat stage's output (computed part plus received
+        halo).
     stage_flows:
-        ``stage_flows[stage]`` — the boundary copies to perform after that
-        stage, before any island starts the next one.
+        ``stage_flows[t]`` — the boundary copies to perform after flat
+        stage ``t``, before any island starts the next one.
+    sync_every:
+        Time steps per super-step (1 = the paper's per-step sync).
+    step_plans:
+        ``step_plans[island]`` — the ``s`` composed plans in execution
+        order (``step_plans[island][-1] is plans[island]``).
+    recurrent:
+        The input field that receives the output between sub-steps
+        (``None`` only on ledgers loaded from older constructions).
     """
 
     program: StencilProgram
@@ -112,6 +155,9 @@ class HaloLedger:
     compute_boxes: Tuple[Tuple[Box, ...], ...]
     buffer_boxes: Tuple[Tuple[Box, ...], ...]
     stage_flows: Tuple[Tuple[StageFlow, ...], ...]
+    sync_every: int = 1
+    step_plans: Tuple[Tuple[HaloPlan, ...], ...] = ()
+    recurrent: Optional[str] = None
 
     # -- communication accounting ---------------------------------------
     @property
@@ -139,12 +185,19 @@ class HaloLedger:
 
     # -- computation accounting ------------------------------------------
     @property
+    def stages_per_step(self) -> int:
+        """Program stages per time step (the flat axis is ``s`` times it)."""
+        return len(self.program.stages)
+
+    @property
     def redundant_points(self) -> int:
-        """Points computed beyond the once-per-point minimum, per step.
+        """Points computed beyond the once-per-point minimum, per super-step.
 
         Zero for pure exchange (owned boxes tile the domain); equals the
         Table-2 extra-element count for pure recompute over a physical
-        clip domain.
+        clip domain.  The minimum is the *composed* global plan, so this
+        counts only the redundancy caused by splitting into islands, not
+        the deep-halo work temporal blocking itself requires.
         """
         computed = sum(
             box.size for per_island in self.compute_boxes for box in per_island
@@ -153,18 +206,34 @@ class HaloLedger:
         return computed - minimum
 
     @property
+    def redundant_points_per_step(self) -> float:
+        """Redundant points amortized over the super-step's time steps.
+
+        Grows roughly linearly in ``sync_every``: sub-step ``k`` of ``s``
+        recomputes a boundary wedge of depth ``(s - k) * h``, so the
+        per-super-step total is ~quadratic and the per-step average
+        ~linear — the price paid for ``s`` times fewer barriers.
+        """
+        return self.redundant_points / self.sync_every
+
+    @property
     def active_stages(self) -> Tuple[int, ...]:
-        """Stage indices that require any computation at all."""
+        """Flat stage indices that require any computation at all."""
         return tuple(
             index for index, box in enumerate(self.global_boxes) if not box.is_empty()
         )
 
     @property
     def step_syncs(self) -> int:
-        """Inter-island synchronizations per time step under this policy."""
+        """Inter-island synchronizations per *super-step* under this policy."""
         if self.policy == "recompute":
             return 1
         return len(self.active_stages)
+
+    @property
+    def syncs_per_step(self) -> float:
+        """Synchronizations amortized per time step (``step_syncs / s``)."""
+        return self.step_syncs / self.sync_every
 
 
 def _owned_boxes(partition: Partition, clip: Box) -> Tuple[Box, ...]:
@@ -240,6 +309,8 @@ def build_halo_ledger(
     clip_domain: Optional[Box] = None,
     policy: str = "recompute",
     hybrid_max_flow_points: Optional[int] = None,
+    sync_every: int = 1,
+    recurrent: Optional[str] = None,
 ) -> HaloLedger:
     """Materialize one halo policy into executable per-stage geometry.
 
@@ -260,6 +331,14 @@ def build_halo_ledger(
     hybrid_max_flow_points:
         Per-boundary shipped-points threshold; required (and only allowed)
         for the hybrid policy.
+    sync_every:
+        Time steps per super-step (temporal blocking).  With ``s > 1``
+        every per-stage axis is flattened to ``s * stages`` entries and
+        all accounting covers one super-step; recompute then needs a
+        single synchronization for ``s`` full time steps.
+    recurrent:
+        The input field that receives the output between sub-steps;
+        inferred (the unique time-varying input) when omitted.
     """
     if policy not in HALO_POLICIES:
         raise ValueError(
@@ -272,17 +351,40 @@ def build_halo_ledger(
             )
     elif hybrid_max_flow_points is not None:
         raise ValueError("hybrid_max_flow_points only applies to the hybrid policy")
+    if sync_every < 1:
+        raise ValueError("sync_every must be at least 1")
 
     clip = clip_domain if clip_domain is not None else partition.domain
-    plans = island_halo_plans(program, partition, clip)
-    global_plan = required_regions(program, partition.domain, domain=clip)
-    global_boxes = global_plan.stage_boxes
+    if recurrent is None and sync_every > 1:
+        recurrent = recurrent_input(program)
+    step_plans = tuple(
+        composed_step_plans(
+            program, part, domain=clip, sync_every=sync_every, recurrent=recurrent
+        )
+        for part in partition.parts
+    )
+    plans = tuple(per_island[-1] for per_island in step_plans)
+    global_steps = composed_step_plans(
+        program,
+        partition.domain,
+        domain=clip,
+        sync_every=sync_every,
+        recurrent=recurrent,
+    )
+    global_boxes = tuple(
+        box for plan in global_steps for box in plan.stage_boxes
+    )
     owned = _owned_boxes(partition, clip)
-    stages = len(program.stages)
+    stages = sync_every * len(program.stages)
     islands = partition.count
+    # The island's recompute bound per flat stage: sub-step k's composed
+    # plan box for that stage (deepest at k = 0).
+    island_boxes = tuple(
+        tuple(box for plan in per_island for box in plan.stage_boxes)
+        for per_island in step_plans
+    )
 
     if policy == "recompute":
-        compute = tuple(plan.stage_boxes for plan in plans)
         return HaloLedger(
             program=program,
             partition=partition,
@@ -291,20 +393,25 @@ def build_halo_ledger(
             plans=plans,
             global_boxes=global_boxes,
             owned_boxes=owned,
-            compute_boxes=compute,
-            buffer_boxes=compute,
+            compute_boxes=island_boxes,
+            buffer_boxes=island_boxes,
             stage_flows=tuple(() for _ in range(stages)),
+            sync_every=sync_every,
+            step_plans=step_plans,
+            recurrent=recurrent,
         )
 
     # Pure-exchange geometry: each island computes only its owned slice of
     # the globally required region; its buffer must additionally hold the
-    # recompute plan's box, which bounds every later-stage read.
+    # recompute plan's box, which bounds every later-stage read (including
+    # the next sub-step's reads of the recurrent field, which the composed
+    # plan targets by construction).
     compute_boxes = [
         [global_boxes[s].intersect(owned[q]) for s in range(stages)]
         for q in range(islands)
     ]
     buffer_boxes = [
-        [plans[q].stage_boxes[s].hull(compute_boxes[q][s]) for s in range(stages)]
+        [island_boxes[q][s].hull(compute_boxes[q][s]) for s in range(stages)]
         for q in range(islands)
     ]
 
@@ -325,7 +432,7 @@ def build_halo_ledger(
             for island, grow_hi in ((a, direction > 0), (b, direction < 0)):
                 for s in range(stages):
                     comp = compute_boxes[island][s]
-                    plan_box = plans[island].stage_boxes[s]
+                    plan_box = island_boxes[island][s]
                     if comp.is_empty() or plan_box.is_empty():
                         continue
                     lo = list(comp.lo)
@@ -337,7 +444,7 @@ def build_halo_ledger(
                     compute_boxes[island][s] = Box(tuple(lo), tuple(hi))  # type: ignore[arg-type]
         buffer_boxes = [
             [
-                plans[q].stage_boxes[s].hull(compute_boxes[q][s])
+                island_boxes[q][s].hull(compute_boxes[q][s])
                 for s in range(stages)
             ]
             for q in range(islands)
@@ -355,4 +462,7 @@ def build_halo_ledger(
         compute_boxes=tuple(tuple(row) for row in compute_boxes),
         buffer_boxes=tuple(tuple(row) for row in buffer_boxes),
         stage_flows=stage_flows,
+        sync_every=sync_every,
+        step_plans=step_plans,
+        recurrent=recurrent,
     )

@@ -143,6 +143,13 @@ class EngineConfig:
         remapped round-robin onto surviving workers, shrinking to
         serial-in-parent as the last resort.  ``None`` never
         quarantines.
+    sync_every:
+        Temporal blocking: islands synchronize once per this many time
+        steps, computing on ghost halos deep enough for the whole
+        ``s``-step cascade (one super-step).  ``1`` (default) is the
+        paper's per-step sync.  Requires periodic boundaries: with open
+        boundaries the reference refills boundary values every step,
+        which a sync-free super-step cannot reproduce bit-identically.
     """
 
     backend: str = "interpreter"
@@ -166,6 +173,7 @@ class EngineConfig:
     step_deadline: Optional[float] = None
     deadline_factor: Optional[float] = 8.0
     quarantine_after: Optional[int] = 3
+    sync_every: int = 1
 
     def __post_init__(self) -> None:
         # Normalize (object.__setattr__: the dataclass is frozen) so two
@@ -271,6 +279,16 @@ class EngineConfig:
                 raise ValueError(
                     "quarantine_after must be at least 1 (or None)"
                 )
+        object.__setattr__(self, "sync_every", int(self.sync_every))
+        if self.sync_every < 1:
+            raise ValueError("sync_every must be at least 1")
+        if self.sync_every > 1 and self.boundary != "periodic":
+            raise ValueError(
+                "sync_every > 1 (temporal blocking) requires periodic "
+                "boundaries: open boundaries refill ghost values every "
+                "step, which an s-step super-step cannot reproduce "
+                "bit-identically"
+            )
         if self.backend != "procs":
             if self.workers is not None:
                 raise ValueError(
@@ -330,6 +348,7 @@ class EngineConfig:
             "step_deadline": self.step_deadline,
             "deadline_factor": self.deadline_factor,
             "quarantine_after": self.quarantine_after,
+            "sync_every": self.sync_every,
         }
 
     @classmethod
@@ -444,6 +463,7 @@ class EngineConfig:
             collect_timings=getattr(args, "timings", False),
             halo=getattr(args, "halo", "recompute") or "recompute",
             halo_threshold=getattr(args, "halo_threshold", None),
+            sync_every=getattr(args, "sync_every", 1) or 1,
         )
 
     @classmethod

@@ -26,9 +26,13 @@ in its own address space, the first-touch-style per-island initialization
 of Wittmann/Hager (arXiv 0912.4506).  The step protocol is the paper's
 one-barrier-per-step: the parent issues one command per island, the
 pipe joins are the barrier, and under exchange mode the same join runs
-once per stage.  The interpreter/compiled stage executors run inside the
-workers unchanged, so every trajectory is bit-identical to the
-single-process backends.
+once per stage.  Temporal blocking (``sync_every = s``) amortizes that
+barrier: one ``super`` command advances ``s`` chained sub-steps inside
+the worker, so the parent pays one dispatch and one pipe-join per
+super-step — ``s``\\ × fewer synchronizations for the same trajectory.
+The interpreter/compiled stage executors run inside the workers
+unchanged, so every trajectory is bit-identical to the single-process
+backends.
 
 Failure semantics are *real*: a worker that dies (SIGKILL, OOM, a
 ``kill`` fault) surfaces as :class:`WorkerCrashed` on the parent's pipe,
@@ -237,6 +241,18 @@ class DeadlineClock:
     deadline would kill every respawn forever).  With neither set there
     is no deadline: :meth:`current` returns ``None`` and dispatch
     blocks unbounded, exactly the pre-supervision behaviour.
+
+    Temporal blocking makes commands *legitimately* longer: one
+    ``super`` command advances ``steps`` sub-steps between replies.
+    The EWMA therefore tracks **per-step** durations — :meth:`observe`
+    normalizes by the command's ``steps``, :meth:`current` scales the
+    adapted (or explicit) deadline back up by the next command's
+    ``steps`` — so one clock serves mixed step/super traffic and a
+    retuned ``sync_every`` never inherits a stale absolute deadline.
+    The warm-up grace is deliberately **not** scaled: it is already
+    sized for one-off cost (fork + state rebuild), and multiplying it
+    by ``steps`` would let a worker wedged mid-super-step hide behind
+    ``steps × 60 s`` of grace.
     """
 
     def __init__(
@@ -263,25 +279,31 @@ class DeadlineClock:
         with self._lock:
             return self._ewma
 
-    def current(self, fresh: bool = False) -> Optional[float]:
-        """The deadline for the next command (``None``: unsupervised)."""
+    def current(self, fresh: bool = False, steps: int = 1) -> Optional[float]:
+        """The deadline for a command advancing ``steps`` sub-steps.
+
+        ``None`` means unsupervised.  The per-step budget (explicit or
+        adapted) is multiplied by ``steps``; the warm-up grace is not
+        (see the class docstring).
+        """
         if self.explicit is not None:
-            return self.explicit
+            return self.explicit * steps
         if self.factor is None:
             return None
         with self._lock:
             ewma = self._ewma
         if ewma is None or fresh:
             return self.warmup
-        return max(self.floor, ewma * self.factor)
+        return max(self.floor, ewma * self.factor) * steps
 
-    def observe(self, seconds: float) -> None:
-        """Feed one successful command's duration into the EWMA."""
+    def observe(self, seconds: float, steps: int = 1) -> None:
+        """Feed one successful command's duration into the per-step EWMA."""
+        per_step = seconds / max(1, steps)
         with self._lock:
             if self._ewma is None:
-                self._ewma = seconds
+                self._ewma = per_step
             else:
-                self._ewma += EWMA_ALPHA * (seconds - self._ewma)
+                self._ewma += EWMA_ALPHA * (per_step - self._ewma)
 
 
 @dataclass
@@ -483,6 +505,13 @@ class ProcsBackend(IslandBackend):
     def _prepare_stage_state(self) -> None:
         # Called by the base prepare_exchange() after the (shared-memory)
         # stage buffers exist; the workers fork here and inherit them.
+        self._allocate_shared_io()
+        self._spawn_all()
+
+    def _prepare_super_state(self) -> None:
+        # Called by the base prepare_super() *after* the composed step
+        # plans are stored on self, so the forked workers inherit them
+        # and build their own per-sub-step compute state locally.
         self._allocate_shared_io()
         self._spawn_all()
 
@@ -705,6 +734,8 @@ class ProcsBackend(IslandBackend):
                     inner.adopt_exchange_state(
                         self._ledger, self._stage_buffers
                     )
+                elif self._step_plans is not None:
+                    inner.prepare_super(self._step_plans, self._recurrent)
                 else:
                     inner.prepare()
                 self._parent_inner = inner
@@ -811,7 +842,9 @@ class ProcsBackend(IslandBackend):
     # ------------------------------------------------------------------
     # Dispatch (parent side)
     # ------------------------------------------------------------------
-    def _dispatch(self, island_index: int, command: tuple) -> IslandResult:
+    def _dispatch(
+        self, island_index: int, command: tuple, steps: int = 1
+    ) -> IslandResult:
         """Send one command and await its reply under the deadline.
 
         Three outcomes: a reply in time (success — the duration feeds
@@ -821,7 +854,10 @@ class ProcsBackend(IslandBackend):
         SIGKILLs the worker and raises
         :class:`~repro.runtime.faults.WorkerHung` carrying the detection
         latency actually paid.  An unsupervised pool (no deadline)
-        blocks in ``recv`` exactly as before.
+        blocks in ``recv`` exactly as before.  ``steps`` is how many
+        sub-steps the command legitimately advances; the clock scales
+        its adaptive deadline by it and normalizes the observed
+        duration back to per-step.
         """
         handle = self._by_island[island_index]
         with handle.lock:
@@ -831,7 +867,7 @@ class ProcsBackend(IslandBackend):
                 raise WorkerCrashed(
                     island_index, handle.worker_id, None, None
                 )
-            deadline = self._clock.current(fresh=handle.fresh)
+            deadline = self._clock.current(fresh=handle.fresh, steps=steps)
             begin = time.perf_counter()
             try:
                 handle.conn.send(command)
@@ -862,7 +898,7 @@ class ProcsBackend(IslandBackend):
                     None if process is None else process.pid,
                     None if process is None else process.exitcode,
                 ) from error
-            self._clock.observe(time.perf_counter() - begin)
+            self._clock.observe(time.perf_counter() - begin, steps=steps)
             handle.fresh = False
         self._record_success(handle)
         if reply[0] != "ok":
@@ -887,6 +923,35 @@ class ProcsBackend(IslandBackend):
                 self._take_kill(island.index),
                 self._take_hang(island.index),
             ),
+        )
+        if out is not self._output:  # direct caller with a foreign buffer
+            out[island.part.slices()] = self._output[island.part.slices()]
+        return result
+
+    def execute_island_super(self, island, inputs, out, steps) -> IslandResult:
+        """One RPC, one pipe-join barrier, ``steps`` time steps.
+
+        The whole point of temporal blocking on this backend: the worker
+        chains ``steps`` composed sub-steps island-locally and replies
+        once, so the parent pays one dispatch and one barrier per
+        super-step instead of per step.
+        """
+        self._sync_inputs(inputs)
+        if self._serial:
+            self._take_kill(island.index)  # stale arms are void in serial
+            self._take_hang(island.index)
+            inner = self._ensure_parent_inner()
+            return inner.execute_island_super(island, inputs, out, steps)
+        result = self._dispatch(
+            island.index,
+            (
+                "super",
+                island.index,
+                steps,
+                self._take_kill(island.index),
+                self._take_hang(island.index),
+            ),
+            steps=steps,
         )
         if out is not self._output:  # direct caller with a foreign buffer
             out[island.part.slices()] = self._output[island.part.slices()]
@@ -956,6 +1021,10 @@ class ProcsBackend(IslandBackend):
                 # First-touch-style: this worker binds its own compute
                 # state to the shared stage buffers inherited at fork.
                 built.adopt_exchange_state(self._ledger, self._stage_buffers)
+            elif self._step_plans is not None:
+                # Temporal blocking: per-sub-step compute state, built in
+                # this worker's own address space from the inherited plans.
+                built.prepare_super(self._step_plans, self._recurrent)
             else:
                 built.prepare()
             return built
@@ -989,6 +1058,21 @@ class ProcsBackend(IslandBackend):
                         time.sleep(3600.0)
                 try:
                     result = inner.execute_island(by_index[q], inputs, out)
+                except Exception as error:
+                    conn.send(("err", f"{type(error).__name__}: {error}"))
+                else:
+                    conn.send(("ok", result))
+            elif op == "super":
+                _, q, steps, die, wedge = command
+                if die:
+                    os.kill(os.getpid(), signal.SIGKILL)
+                if wedge:
+                    while True:  # hung, not dead: the pipe stays open
+                        time.sleep(3600.0)
+                try:
+                    result = inner.execute_island_super(
+                        by_index[q], inputs, out, steps
+                    )
                 except Exception as error:
                     conn.send(("err", f"{type(error).__name__}: {error}"))
                 else:

@@ -149,6 +149,12 @@ class StepStats:
     ``stage_syncs`` how many inter-island barriers it took, and
     ``redundant_points`` how many stage points were computed beyond the
     once-per-point minimum (0 under pure exchange).
+
+    Temporal blocking makes one :meth:`step` call advance several time
+    steps between barriers: ``steps_advanced`` says how many (1 without
+    ``sync_every``), and :attr:`syncs_per_step` is the amortized barrier
+    rate the optimization exists to lower — under recompute it is
+    ``1 / sync_every``.
     """
 
     allocations: int
@@ -160,7 +166,13 @@ class StepStats:
     exchanged_bytes: int = 0
     stage_syncs: int = 0
     redundant_points: int = 0
+    steps_advanced: int = 1
     timings: Optional[StepTimings] = None
+
+    @property
+    def syncs_per_step(self) -> float:
+        """Inter-island synchronizations amortized over steps advanced."""
+        return self.stage_syncs / max(1, self.steps_advanced)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe form for telemetry sinks."""
@@ -174,6 +186,7 @@ class StepStats:
             "exchanged_bytes": self.exchanged_bytes,
             "stage_syncs": self.stage_syncs,
             "redundant_points": self.redundant_points,
+            "steps_advanced": self.steps_advanced,
             "timings": self.timings.to_dict() if self.timings else None,
         }
 
@@ -221,16 +234,17 @@ class StepEvent:
             else f"{'—':>7} {'—':>9}"
         )
         return (
-            f"{self.step:>5d} {self.wall_seconds * 1e3:>10.2f} "
+            f"{self.step:>5d} {self.stats.steps_advanced:>5d} "
+            f"{self.wall_seconds * 1e3:>10.2f} "
             f"{self.stats.allocations:>11d} {self.stats.reused:>11d} "
-            f"{survived}"
+            f"{self.stats.stage_syncs:>5d} {survived}"
         )
 
     @staticmethod
     def render_header() -> str:
         return (
-            f"{'step':>5} {'wall ms':>10} {'allocs':>11} {'reused':>11} "
-            f"{'retries':>7} {'recovered':>9}"
+            f"{'step':>5} {'+adv':>5} {'wall ms':>10} {'allocs':>11} "
+            f"{'reused':>11} {'syncs':>5} {'retries':>7} {'recovered':>9}"
         )
 
 
@@ -313,24 +327,47 @@ class TableSink(TelemetrySink):
     """Render each event as a row of a fixed-width table.
 
     With a ``stream`` the rows appear live (the header before the first
-    row); without one they accumulate and :meth:`render` returns the
-    whole table — the form the engine CLI prints.
+    row, the run summary on :meth:`close`); without one they accumulate
+    and :meth:`render` returns the whole table — the form the engine CLI
+    prints.  The sink keeps run-level synchronization totals as it goes:
+    ``total_syncs`` over ``total_steps`` time steps, whose ratio
+    (:meth:`summary`) is the amortized barrier rate temporal blocking
+    lowers.
     """
 
     def __init__(self, stream: Optional[TextIO] = None) -> None:
         self.stream = stream
         self.rows: List[str] = []
+        self.total_steps = 0
+        self.total_syncs = 0
 
     def emit(self, event: StepEvent) -> None:
         row = event.render()
         if self.stream is not None and not self.rows:
             print(StepEvent.render_header(), file=self.stream)
         self.rows.append(row)
+        self.total_steps += event.stats.steps_advanced
+        self.total_syncs += event.stats.stage_syncs
         if self.stream is not None:
             print(row, file=self.stream)
 
+    def summary(self) -> str:
+        """Run-level totals: steps advanced, syncs paid, syncs/step."""
+        per_step = self.total_syncs / max(1, self.total_steps)
+        return (
+            f"total: {self.total_steps} steps, {self.total_syncs} syncs "
+            f"({per_step:.3f} syncs/step)"
+        )
+
     def render(self) -> str:
-        return "\n".join([StepEvent.render_header(), *self.rows])
+        lines = [StepEvent.render_header(), *self.rows]
+        if self.rows:
+            lines.append(self.summary())
+        return "\n".join(lines)
+
+    def close(self) -> None:
+        if self.stream is not None and self.rows:
+            print(self.summary(), file=self.stream)
 
 
 class Telemetry:

@@ -16,10 +16,12 @@ together with the analyses the islands-of-cores approach rests on:
 """
 
 from .autotune import (
+    SyncTuningResult,
     TuningResult,
     autotune_blocks,
     candidate_shapes,
     measured_objective,
+    tune_sync_every,
 )
 from .codegen import CompiledPlan, Workspace, compile_plan, compile_program
 from .expr import (
@@ -56,7 +58,14 @@ from .gallery import (
     star3d,
     wave3d,
 )
-from .halo import HaloPlan, program_halo_depth, required_regions, stage_expansions
+from .halo import (
+    HaloPlan,
+    composed_step_plans,
+    program_halo_depth,
+    recurrent_input,
+    required_regions,
+    stage_expansions,
+)
 from .interpreter import (
     ArrayRegion,
     ExecutionStats,
@@ -118,6 +127,7 @@ __all__ = [
     "StageCost",
     "Stage",
     "StencilProgram",
+    "SyncTuningResult",
     "TiledPlan",
     "TuningResult",
     "Unary",
@@ -129,6 +139,7 @@ __all__ = [
     "candidate_shapes",
     "compile_plan",
     "compile_plan_tiled",
+    "composed_step_plans",
     "compile_program",
     "dependency_levels",
     "describe_program",
@@ -161,6 +172,7 @@ __all__ = [
     "program_arith_flops_per_point",
     "program_cost",
     "program_halo_depth",
+    "recurrent_input",
     "required_regions",
     "schedule_by_levels",
     "shift_expr",
@@ -170,6 +182,7 @@ __all__ = [
     "star3d",
     "stage_expansions",
     "substitute_field",
+    "tune_sync_every",
     "wave3d",
     "working_set_bytes",
 ]

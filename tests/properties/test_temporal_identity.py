@@ -1,0 +1,170 @@
+"""Property tests of temporal blocking's composed halo geometry.
+
+Temporal blocking (``sync_every = s``) composes the backward halo walk
+across *steps*: each island runs ``s`` full cascades from ``s``-fold
+deeper ghosts before re-synchronizing.  The ledger flattens the stage
+axis to ``s * stages`` entries, and everything proved per-step in
+``test_halo_identity`` must survive the composition: ``Box.difference``
+must carve exact partitions (the flows are built from it), the stage
+flows must fill exactly what an island buffers but does not compute,
+the composed plans must chain output-region to input-region between
+sub-steps, and the Sect. 3.2 identity — what exchange ships equals
+what recompute duplicates — must hold for *every* ``s``, not just the
+paper's per-step sync.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Variant,
+    build_halo_ledger,
+    partition_domain,
+    partition_grid_2d,
+)
+from repro.stencil import Box, full_box
+
+from .test_invariants import programs
+
+#: Every random program's first stage reads ``x1`` (the strategy always
+#: takes the newest available field), so composing steps through it is
+#: well-defined for all drawn programs.
+RECURRENT = "x1"
+
+sync_depths = st.sampled_from([1, 2, 4])
+
+
+@st.composite
+def box_pairs(draw):
+    """Two boxes that may nest, overlap, touch, or miss entirely."""
+
+    def box(max_lo: int) -> Box:
+        lo = tuple(draw(st.integers(-max_lo, max_lo)) for _ in range(3))
+        extent = tuple(draw(st.integers(0, 6)) for _ in range(3))
+        return Box(lo, tuple(a + b for a, b in zip(lo, extent)))
+
+    return box(8), box(8)
+
+
+@st.composite
+def partitions(draw, shape):
+    """A 1D slab cut (either paper variant) or a 2D island grid —
+    islands at the domain faces are boundary-clipped either way."""
+    domain = full_box(shape)
+    if draw(st.booleans()):
+        return partition_domain(
+            domain,
+            draw(st.integers(2, 4)),
+            draw(st.sampled_from([Variant.A, Variant.B])),
+        )
+    return partition_grid_2d(
+        domain, draw(st.integers(1, 3)), draw(st.integers(1, 3))
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(pair=box_pairs())
+def test_box_difference_is_an_exact_partition(pair):
+    """``a.difference(b)`` tiles ``a \\ b``: pieces lie in ``a``, miss
+    ``b``, are pairwise disjoint, and their sizes sum exactly."""
+    a, b = pair
+    pieces = a.difference(b)
+    for piece in pieces:
+        assert not piece.is_empty()
+        assert a.contains(piece)
+        assert piece.intersect(b).is_empty()
+    for i, first in enumerate(pieces):
+        for second in pieces[i + 1 :]:
+            assert first.intersect(second).is_empty()
+    assert (
+        sum(piece.size for piece in pieces)
+        == a.size - a.intersect(b).size
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    program=programs(),
+    sync_every=sync_depths,
+    shape=st.tuples(
+        st.integers(10, 18), st.integers(8, 14), st.integers(3, 8)
+    ),
+    data=st.data(),
+)
+def test_stage_flows_fill_exactly_what_is_missing(
+    program, sync_every, shape, data
+):
+    """At every composed depth, each flat stage's flows are valid copies
+    (from the owner's computed region) that together cover exactly the
+    buffered-but-not-computed region of the destination island."""
+    partition = data.draw(partitions(shape))
+    ledger = build_halo_ledger(
+        program,
+        partition,
+        policy="exchange",
+        sync_every=sync_every,
+        recurrent=RECURRENT,
+    )
+    flat_stages = sync_every * len(program.stages)
+    assert len(ledger.stage_flows) == flat_stages
+    for stage in range(flat_stages):
+        for dst in range(partition.count):
+            need = ledger.buffer_boxes[dst][stage]
+            have = ledger.compute_boxes[dst][stage]
+            incoming = [
+                flow for flow in ledger.stage_flows[stage] if flow.dst == dst
+            ]
+            for flow in incoming:
+                assert need.contains(flow.box)
+                assert flow.box.intersect(have).is_empty()
+                assert ledger.compute_boxes[flow.src][stage].contains(
+                    flow.box
+                )
+                assert ledger.owned_boxes[flow.src].contains(flow.box)
+            for i, first in enumerate(incoming):
+                for second in incoming[i + 1 :]:
+                    assert first.box.intersect(second.box).is_empty()
+            assert (
+                sum(flow.points for flow in incoming)
+                == need.size - need.intersect(have).size
+            )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    program=programs(),
+    sync_every=sync_depths,
+    shape=st.tuples(
+        st.integers(10, 18), st.integers(8, 14), st.integers(3, 8)
+    ),
+    data=st.data(),
+)
+def test_identity_generalizes_to_super_steps(
+    program, sync_every, shape, data
+):
+    """Sect. 3.2 for every ``s``: over one super-step, pure exchange
+    ships exactly the points pure recompute duplicates, and the composed
+    plans chain each sub-step's target into the next one's read."""
+    partition = data.draw(partitions(shape))
+    exchange = build_halo_ledger(
+        program,
+        partition,
+        policy="exchange",
+        sync_every=sync_every,
+        recurrent=RECURRENT,
+    )
+    recompute = build_halo_ledger(
+        program,
+        partition,
+        policy="recompute",
+        sync_every=sync_every,
+        recurrent=RECURRENT,
+    )
+    assert exchange.exchanged_points() == recompute.redundant_points
+    assert exchange.redundant_points == 0
+    assert recompute.exchanged_points() == 0
+    for per_island in recompute.step_plans:
+        assert len(per_island) == sync_every
+        for earlier, later in zip(per_island, per_island[1:]):
+            assert earlier.target == later.input_boxes[RECURRENT]
