@@ -110,12 +110,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     engine.add_argument("--threads", type=int, default=1)
     engine.add_argument("--compiled", action="store_true")
+    # Offer exactly what the backend registry holds, so new backends (and
+    # their error messages) can never drift out of the CLI.
+    from .runtime.backends import BACKENDS
+
     engine.add_argument(
-        "--backend", choices=("interpreter", "compiled", "tiled", "procs"),
+        "--backend", choices=tuple(sorted(BACKENDS)),
         default=None,
-        help="explicit execution backend (default: from --compiled/--tiled); "
+        help="explicit execution backend, one of: "
+        f"{', '.join(sorted(BACKENDS))} (default: from --compiled/--tiled); "
         "procs runs each island in a persistent worker process over "
-        "shared memory",
+        "shared memory; native fuses each stage into one compiled-C loop "
+        "nest (requires cffi + a C compiler)",
     )
     procs = engine.add_argument_group(
         "procs backend",
@@ -148,6 +154,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="quarantine a worker after N consecutive failures and remap "
         "its islands onto survivors, down to serial-in-parent "
         "(default 3; 0 never quarantines)",
+    )
+    from .runtime.config import PROCS_INNER_KEYS
+
+    procs.add_argument(
+        "--procs-inner", choices=PROCS_INNER_KEYS, default=None,
+        help="stage executor each worker runs for its islands "
+        "(default: compiled, or interpreter without --compiled)",
     )
     halo = engine.add_argument_group(
         "halo policy",
@@ -495,6 +508,8 @@ def _validate_engine_args(parser, args) -> None:
     if args.backend != "procs":
         if args.workers is not None:
             parser.error("--workers requires --backend procs")
+        if args.procs_inner is not None:
+            parser.error("--procs-inner requires --backend procs")
         if args.pin_workers:
             parser.error("--pin-workers requires --backend procs")
         if args.step_deadline is not None:

@@ -6,7 +6,17 @@ calibrated timing regimes (:mod:`repro.machine.costmodel`) and the
 phase-level simulator with link contention (:mod:`repro.machine.simulator`).
 """
 
-from .costmodel import CostModel, uv2000_costs
+from .costmodel import (
+    OP_PORT_CYCLES,
+    CostModel,
+    PortModel,
+    StageEstimate,
+    default_port_model,
+    kernel_estimates,
+    rank_order,
+    spearman_rank_correlation,
+    uv2000_costs,
+)
 from .memory import (
     AccessMatrix,
     first_touch_matrix,
@@ -44,15 +54,22 @@ __all__ = [
     "MachineSpec",
     "NUMALINK6_BANDWIDTH",
     "NodeSpec",
+    "OP_PORT_CYCLES",
     "Phase",
     "PhaseTiming",
+    "PortModel",
     "SimResult",
+    "StageEstimate",
     "Transfer",
     "blade_machine",
     "cluster_of_smps",
+    "default_port_model",
     "first_touch_matrix",
     "interleaved_matrix",
+    "kernel_estimates",
+    "rank_order",
     "serial_matrix",
+    "spearman_rank_correlation",
     "sweep_phase",
     "sgi_uv2000",
     "simulate",

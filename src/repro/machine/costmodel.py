@@ -23,14 +23,44 @@ block hand-off, the mechanism Sect. 5 blames for its collapse.
 Default constants are calibrated once against four anchors of Table 1
 (see :mod:`repro.analysis.calibration`, which re-derives and checks them);
 everything else the model outputs is a prediction.
+
+Instruction-level stage estimates
+---------------------------------
+
+The regime formulas above price *whole sweeps* from aggregate flop and
+byte counts.  With the kernel IR of :mod:`repro.stencil.lowering` the
+model can go one level deeper: :class:`PortModel` prices each lowered
+stage from its exact three-address schedule — op counts weighted by
+per-port reciprocal throughputs, memory traffic from the stage's distinct
+field reads plus a spill term when the slot-liveness peak exceeds the
+register budget — and :func:`kernel_estimates` turns a whole
+:class:`~repro.stencil.lowering.KernelIR` into per-stage roofline
+predictions.  The estimates are *relative* by construction (rank
+validation against measured native kernels lives in
+``tests/machine/test_kernel_estimates.py``); absolute seconds depend on
+the calibrated rates.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Tuple
 
-__all__ = ["CostModel", "uv2000_costs"]
+if TYPE_CHECKING:  # pragma: no cover - typing only, no import cycle at runtime
+    from ..stencil.lowering import KernelIR, StageSchedule
+
+__all__ = [
+    "CostModel",
+    "OP_PORT_CYCLES",
+    "PortModel",
+    "StageEstimate",
+    "default_port_model",
+    "kernel_estimates",
+    "rank_order",
+    "spearman_rank_correlation",
+    "uv2000_costs",
+]
 
 
 @dataclass(frozen=True)
@@ -150,3 +180,193 @@ def uv2000_costs() -> CostModel:
         block_sync_per_node=1.22272e-6,
         block_boundary_bytes=1.6384e4,
     )
+
+
+# ----------------------------------------------------------------------
+# Instruction-level estimates from the kernel IR
+# ----------------------------------------------------------------------
+
+#: Reciprocal throughputs (issue cycles per elementwise result) by IR
+#: opcode, scaled to the cheap FP ops.  The ratios follow the shape every
+#: recent x86 core shares: adds/multiplies and min/max pipeline at one
+#: result per cycle-ish, sign games are nearly free, division and square
+#: root monopolize the divider for several cycles, and a lowered select
+#: costs a compare plus a blend.  Only the *ratios* matter for ranking;
+#: the absolute scale is carried by :attr:`PortModel.cycle_rate`.
+OP_PORT_CYCLES: Mapping[str, float] = {
+    "add": 1.0,
+    "sub": 1.0,
+    "mul": 1.0,
+    "max": 1.0,
+    "min": 1.0,
+    "neg": 0.5,
+    "abs": 0.5,
+    "pos": 1.0,  # max(x, 0): one fmax
+    "neg_part": 1.0,  # min(x, 0): one fmin
+    "div": 7.0,
+    "sqrt": 9.0,
+    "select": 3.0,  # compare + two predicated moves
+    "copy": 1.0,
+}
+
+
+@dataclass(frozen=True)
+class StageEstimate:
+    """Predicted cost of one lowered stage kernel.
+
+    ``compute_seconds`` and ``traffic_seconds`` are the two roofline
+    legs; ``seconds`` is their max (a fused kernel overlaps loads with
+    arithmetic, so the slower resource bounds the sweep).
+    """
+
+    index: int
+    name: str
+    points: int
+    #: Weighted op-issue cycles per grid point.
+    cycles_per_point: float
+    #: Bytes moved to/from memory per grid point (reads + write + spills).
+    bytes_per_point: float
+    compute_seconds: float
+    traffic_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        return max(self.compute_seconds, self.traffic_seconds)
+
+    @property
+    def seconds_per_point(self) -> float:
+        if self.points == 0:
+            return 0.0
+        return self.seconds / self.points
+
+
+@dataclass(frozen=True)
+class PortModel:
+    """Per-port instruction pricing for fused (native) stage kernels.
+
+    The model charges each :class:`~repro.stencil.lowering.StageSchedule`
+
+    * **compute**: ``sum(op_histogram[op] * op_cycles[op])`` weighted
+      issue cycles per point, retired at ``cycle_rate`` cycles/s — op
+      counts times port reciprocal throughputs;
+    * **traffic**: one streamed read per *distinct* field the stage
+      touches plus the output store, at ``dtype_bytes`` each.  Scratch
+      slots live in registers, so they cost nothing — *until* the
+      stage's liveness peak (``peak_float_slots`` + ``peak_mask_slots``,
+      straight from the slot allocator's high-water mark) exceeds
+      ``register_budget``; each excess slot then spills one store and
+      one reload per point.
+
+    Both rates default to one effective lane so estimates are relative;
+    calibrate ``cycle_rate`` / ``stream_bandwidth`` for absolute time.
+    """
+
+    op_cycles: Mapping[str, float] = field(
+        default_factory=lambda: dict(OP_PORT_CYCLES)
+    )
+    #: Weighted op-issue cycles retired per second (per effective lane).
+    cycle_rate: float = 4.0e9
+    #: Streaming bandwidth for the traffic leg, bytes/s.
+    stream_bandwidth: float = 2.0e10
+    #: Architectural registers available to a fused stage kernel before
+    #: live scratch values start spilling.
+    register_budget: int = 16
+
+    def stage_cycles(self, schedule: "StageSchedule") -> float:
+        """Weighted issue cycles per grid point of one schedule."""
+        cycles = 0.0
+        for op, count in schedule.op_histogram().items():
+            try:
+                cycles += count * self.op_cycles[op]
+            except KeyError:
+                raise ValueError(
+                    f"port model has no cost for opcode {op!r}"
+                ) from None
+        return cycles
+
+    def stage_bytes(self, schedule: "StageSchedule", dtype_bytes: int = 8) -> float:
+        """Streamed bytes per grid point: field reads, the output store,
+        and register spills past the budget."""
+        streams = len(schedule.reads()) + 1  # distinct inputs + output
+        live_peak = schedule.peak_float_slots + schedule.peak_mask_slots
+        spilled = max(0, live_peak - self.register_budget)
+        return (streams + 2 * spilled) * float(dtype_bytes)
+
+    def estimate(
+        self, schedule: "StageSchedule", dtype_bytes: int = 8
+    ) -> StageEstimate:
+        """Price one lowered stage."""
+        cycles = self.stage_cycles(schedule)
+        traffic = self.stage_bytes(schedule, dtype_bytes)
+        points = schedule.points
+        return StageEstimate(
+            index=schedule.index,
+            name=schedule.name,
+            points=points,
+            cycles_per_point=cycles,
+            bytes_per_point=traffic,
+            compute_seconds=points * cycles / self.cycle_rate,
+            traffic_seconds=points * traffic / self.stream_bandwidth,
+        )
+
+
+def default_port_model() -> PortModel:
+    """The stock :class:`PortModel` (relative pricing, x86-shaped ratios)."""
+    return PortModel()
+
+
+def kernel_estimates(
+    ir: "KernelIR",
+    ports: Optional[PortModel] = None,
+    dtype_bytes: int = 8,
+) -> Tuple[StageEstimate, ...]:
+    """Price every stage of a lowered plan.
+
+    Returns one :class:`StageEstimate` per schedule in ``ir.stages``, in
+    program order.  The predicted per-stage *ranking* is validated
+    against measured native kernels in
+    ``tests/machine/test_kernel_estimates.py``.
+    """
+    ports = ports or default_port_model()
+    return tuple(ports.estimate(stage, dtype_bytes) for stage in ir.stages)
+
+
+def rank_order(values: Iterable[float]) -> Tuple[float, ...]:
+    """Fractional ranks (average on ties), smallest value -> rank 1."""
+    items = list(values)
+    order = sorted(range(len(items)), key=lambda i: items[i])
+    ranks = [0.0] * len(items)
+    position = 0
+    while position < len(order):
+        tail = position
+        while (
+            tail + 1 < len(order)
+            and items[order[tail + 1]] == items[order[position]]
+        ):
+            tail += 1
+        mean_rank = (position + tail) / 2.0 + 1.0
+        for k in range(position, tail + 1):
+            ranks[order[k]] = mean_rank
+        position = tail + 1
+    return tuple(ranks)
+
+
+def spearman_rank_correlation(
+    predicted: Iterable[float], measured: Iterable[float]
+) -> float:
+    """Spearman's rho between two paired samples (1.0 = same ranking)."""
+    xs = rank_order(predicted)
+    ys = rank_order(measured)
+    if len(xs) != len(ys):
+        raise ValueError("samples must pair up")
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two pairs")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0.0 or var_y == 0.0:
+        raise ValueError("constant sample has no rank correlation")
+    return cov / math.sqrt(var_x * var_y)

@@ -52,6 +52,10 @@ from .island_exec import (
     MpdataIslandSolver,
     PartitionedRunner,
 )
+from .native import (
+    NativeBackend,
+    native_available,
+)
 from .procs import (
     DeadlineClock,
     ProcsBackend,
@@ -106,6 +110,7 @@ __all__ = [
     "IslandResult",
     "JsonlSink",
     "MpdataIslandSolver",
+    "NativeBackend",
     "NumericalHealthError",
     "PartitionedRunner",
     "ProcsBackend",
@@ -134,6 +139,7 @@ __all__ = [
     "create_backend",
     "measure_steady_state",
     "measure_tiled_engine",
+    "native_available",
     "parse_fault_spec",
     "resolve_engine_config",
     "run_with_recovery",

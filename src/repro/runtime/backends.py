@@ -624,11 +624,20 @@ class CompiledBackend(IslandBackend):
 
     key = "compiled"
 
-    def prepare(self) -> None:
+    def _compile(self, program: StencilProgram, plan, **kwargs):
+        """Compile one halo plan — the single seam subclasses override.
+
+        The whole-step, super-step and stage-granular paths all route
+        through here, which is what lets :class:`NativeBackend` swap in
+        fused-C kernels while inheriting every orchestration mode.
+        """
         from ..stencil import compile_plan
 
+        return compile_plan(program, plan, **kwargs)
+
+    def prepare(self) -> None:
         self.plans = {
-            island.index: compile_plan(
+            island.index: self._compile(
                 self.program,
                 island.halo_plan,
                 dtype=self.dtype,
@@ -667,12 +676,10 @@ class CompiledBackend(IslandBackend):
 
     # -- super-step path (temporal blocking) ----------------------------
     def _prepare_super_state(self) -> None:
-        from ..stencil import compile_plan
-
         self._super_plans: Dict[Tuple[int, int], object] = {}
         for island in self.decomposition.islands:
             for k, plan in enumerate(self._step_plans[island.index]):
-                self._super_plans[(island.index, k)] = compile_plan(
+                self._super_plans[(island.index, k)] = self._compile(
                     self.program,
                     plan,
                     dtype=self.dtype,
@@ -716,8 +723,6 @@ class CompiledBackend(IslandBackend):
 
     # -- stage-granular path (exchange / hybrid) ------------------------
     def _prepare_stage_state(self) -> None:
-        from ..stencil import compile_plan
-
         self._stage_plans: Dict[Tuple[int, int], object] = {}
         for island in self.decomposition.islands:
             q = island.index
@@ -727,7 +732,7 @@ class CompiledBackend(IslandBackend):
                     continue
                 stage = self.program.stages[self._flat_stage(s)[1]]
                 sub = self._stage_program(s)
-                compiled = compile_plan(
+                compiled = self._compile(
                     sub,
                     required_regions(sub, comp),
                     dtype=self.dtype,

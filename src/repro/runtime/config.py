@@ -39,10 +39,10 @@ __all__ = [
 ]
 
 #: Registry keys of the execution backends (see :mod:`repro.runtime.backends`).
-BACKEND_KEYS = ("interpreter", "compiled", "tiled", "procs")
+BACKEND_KEYS = ("interpreter", "compiled", "tiled", "procs", "native")
 
 #: Stage executors a ``procs`` worker may run inside itself.
-PROCS_INNER_KEYS = ("interpreter", "compiled")
+PROCS_INNER_KEYS = ("interpreter", "compiled", "native")
 
 #: Constructor keywords the one-release deprecation shim still accepts.
 LEGACY_ENGINE_KWARGS = (
@@ -69,8 +69,10 @@ class EngineConfig:
     backend:
         Registry key of the execution backend: ``"interpreter"`` (stage
         graph walked per island), ``"compiled"`` (straight-line NumPy per
-        island) or ``"tiled"`` (per-block compiled steps, cache-resident
-        (3+1)D sweep; requires ``block_shape``).
+        island), ``"tiled"`` (per-block compiled steps, cache-resident
+        (3+1)D sweep; requires ``block_shape``), ``"procs"`` (worker
+        processes over shared memory) or ``"native"`` (fused compiled-C
+        stage kernels; requires cffi and a system C compiler).
     boundary:
         Ghost-fill mode for all inputs (``"periodic"`` or ``"open"``).
     threads:
@@ -124,7 +126,9 @@ class EngineConfig:
         ``sched_setaffinity`` (the paper's core-to-island placement).
     procs_inner:
         ``procs`` backend only: the stage executor each worker runs for
-        its islands — ``"compiled"`` (default) or ``"interpreter"``.
+        its islands — ``"compiled"`` (default), ``"interpreter"`` or
+        ``"native"`` (fused C kernels; workers reload the on-disk kernel
+        cache instead of recompiling).
     step_deadline:
         ``procs`` backend only: explicit supervision deadline in seconds
         for one island command (step or stage).  A worker that does not
@@ -445,9 +449,12 @@ class EngineConfig:
                 bool(getattr(args, "pin_workers", False)) if procs else False
             ),
             procs_inner=(
-                "interpreter"
-                if procs and not getattr(args, "compiled", False)
-                else "compiled"
+                getattr(args, "procs_inner", None)
+                or (
+                    "interpreter"
+                    if procs and not getattr(args, "compiled", False)
+                    else "compiled"
+                )
             ),
             step_deadline=(
                 getattr(args, "step_deadline", None) if procs else None

@@ -206,6 +206,11 @@ class PartitionedRunner:
         self.halo_ledger = self.decomposition.halo_ledger(
             config.halo, config.halo_threshold, sync_every=self.sync_every
         )
+        # Snapshot the process-wide plan cache around backend construction
+        # so telemetry can attribute this runner's compile reuse.
+        from ..stencil.plancache import PLAN_CACHE
+
+        cache_before = PLAN_CACHE.stats()
         self.backend = create_backend(
             config,
             program,
@@ -213,6 +218,11 @@ class PartitionedRunner:
             clip_domain=self.extended_domain,
             output_field=self.output_field,
             ledger=self.halo_ledger,
+        )
+        cache_after = PLAN_CACHE.stats()
+        self.plan_cache_hits = cache_after["hits"] - cache_before["hits"]
+        self.plan_cache_misses = (
+            cache_after["misses"] - cache_before["misses"]
         )
         self.resilience = ResilientExecutor(
             self.backend,
@@ -627,6 +637,8 @@ class PartitionedRunner:
             stage_syncs=stage_syncs,
             redundant_points=self.halo_ledger.redundant_points,
             steps_advanced=steps,
+            plan_cache_hits=self.plan_cache_hits,
+            plan_cache_misses=self.plan_cache_misses,
             timings=timings,
         )
         self.total_steps_advanced += steps

@@ -1,0 +1,62 @@
+"""The ``native`` island backend: fused compiled-C stage kernels.
+
+Registers :class:`NativeBackend` under the key ``"native"``.  It is a
+:class:`~repro.runtime.backends.CompiledBackend` in every orchestration
+respect — whole-step recompute sweeps, ``--sync-every`` super-steps, and
+stage-granular exchange/hybrid execution all reuse the compiled backend's
+machinery — but every halo plan is compiled to fused C loop nests by
+:func:`repro.stencil.native.compile_plan_native` instead of straight-line
+NumPy source.  One stage then costs a single memory sweep regardless of
+its operator-chain depth, which is what moves arithmetic-heavy stages out
+of the bandwidth-bound ``stream`` regime (see MODEL.md §15).
+
+Results remain bit-identical to every other backend (the native emitter
+preserves IEEE semantics op for op), so ``native`` composes transparently
+with the resilience layer's retry/replay, the procs pool (workers reload
+the on-disk kernel cache instead of recompiling after fork/spawn), and
+the 0-allocation steady state.
+
+Requires cffi and a system C compiler; constructing the backend on a
+machine without them raises :class:`~repro.stencil.native
+.NativeBuildError` with the reason — there is deliberately no silent
+fallback to NumPy, because a quietly degraded backend would invalidate
+any performance measurement taken through it.
+"""
+
+from __future__ import annotations
+
+from ..stencil.native import (
+    NativeBuildError,
+    compile_plan_native,
+    native_available,
+    native_unavailable_reason,
+)
+from .backends import BACKENDS, CompiledBackend
+
+__all__ = [
+    "NativeBackend",
+    "NativeBuildError",
+    "native_available",
+    "native_unavailable_reason",
+]
+
+
+class NativeBackend(CompiledBackend):
+    """One fused compiled-C step per island, persistent workspace."""
+
+    key = "native"
+
+    def __init__(self, *args, **kwargs) -> None:
+        reason = native_unavailable_reason()
+        if reason is not None:
+            raise NativeBuildError(
+                f"the 'native' backend is unavailable: {reason}; use the "
+                "'compiled' backend or install cffi and a C compiler"
+            )
+        super().__init__(*args, **kwargs)
+
+    def _compile(self, program, plan, **kwargs):
+        return compile_plan_native(program, plan, **kwargs)
+
+
+BACKENDS[NativeBackend.key] = NativeBackend

@@ -83,7 +83,7 @@ from ..stencil.interpreter import ArrayRegion
 from ..stencil.program import StencilProgram
 from ..stencil.region import Box
 from .backends import BACKENDS, IslandBackend, IslandResult
-from .config import EngineConfig
+from .config import PROCS_INNER_KEYS, EngineConfig
 from .faults import InjectedFault, WorkerHung
 
 __all__ = [
@@ -385,10 +385,10 @@ class ProcsBackend(IslandBackend):
                 "the procs backend forks persistent worker processes and "
                 "requires a POSIX platform"
             )
-        if inner not in ("interpreter", "compiled"):
+        if inner not in PROCS_INNER_KEYS:
+            known = ", ".join(repr(key) for key in PROCS_INNER_KEYS)
             raise ValueError(
-                f"procs inner executor must be 'interpreter' or 'compiled', "
-                f"got {inner!r}"
+                f"procs inner executor must be one of {known}, got {inner!r}"
             )
         super().__init__(
             program,

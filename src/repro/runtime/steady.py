@@ -181,6 +181,10 @@ def _run_mode(
             sum(e.stats.exchanged_bytes for e in timed) / steps
         ),
         "stage_syncs": sum(e.stats.stage_syncs for e in timed) / steps,
+        # Per-runner constants: how much of this mode's plan compilation
+        # was served from the process-wide plan cache.
+        "plan_cache_hits": float(sink.last.stats.plan_cache_hits),
+        "plan_cache_misses": float(sink.last.stats.plan_cache_misses),
     }
     return np.array(arrays[FIELD_X], copy=True), numbers, elapsed
 

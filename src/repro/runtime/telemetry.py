@@ -155,6 +155,12 @@ class StepStats:
     ``sync_every``), and :attr:`syncs_per_step` is the amortized barrier
     rate the optimization exists to lower — under recompute it is
     ``1 / sync_every``.
+
+    ``plan_cache_hits`` / ``plan_cache_misses`` report how many of this
+    runner's compiled plans (NumPy or native) were served from the
+    process-wide plan cache at construction time (see
+    :mod:`repro.stencil.plancache`).  They are a property of the runner,
+    so every step of one runner reports the same numbers.
     """
 
     allocations: int
@@ -167,6 +173,8 @@ class StepStats:
     stage_syncs: int = 0
     redundant_points: int = 0
     steps_advanced: int = 1
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
     timings: Optional[StepTimings] = None
 
     @property
@@ -187,6 +195,8 @@ class StepStats:
             "stage_syncs": self.stage_syncs,
             "redundant_points": self.redundant_points,
             "steps_advanced": self.steps_advanced,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
             "timings": self.timings.to_dict() if self.timings else None,
         }
 

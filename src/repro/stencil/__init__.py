@@ -10,6 +10,10 @@ together with the analyses the islands-of-cores approach rests on:
 * :mod:`repro.stencil.region` — 3D index boxes,
 * :mod:`repro.stencil.halo` — backward transitive halo analysis,
 * :mod:`repro.stencil.interpreter` — vectorized NumPy execution,
+* :mod:`repro.stencil.lowering` — backend-neutral kernel IR (three-address
+  ops with slot liveness),
+* :mod:`repro.stencil.native` — fused compiled-C stage kernels over the IR,
+* :mod:`repro.stencil.plancache` — process-wide compiled-plan cache,
 * :mod:`repro.stencil.tiling` — (3+1)D cache blocking,
 * :mod:`repro.stencil.flops` — work accounting,
 * :mod:`repro.stencil.validate` — lints and dataflow diagnostics.
@@ -73,6 +77,23 @@ from .interpreter import (
     execute,
     execute_plan,
 )
+from .lowering import (
+    KernelIR,
+    StageSchedule,
+    lower_plan,
+)
+from .native import (
+    NativeBuildError,
+    NativePlan,
+    compile_plan_native,
+    native_available,
+)
+from .plancache import (
+    PLAN_CACHE,
+    clear_plan_cache,
+    plan_cache_stats,
+    program_fingerprint,
+)
 from .pretty import describe_program, describe_stage_table
 from .program import ProgramError, StencilProgram
 from .region import Box, full_box
@@ -120,11 +141,16 @@ __all__ = [
     "Field",
     "FieldRole",
     "HaloPlan",
+    "KernelIR",
+    "NativeBuildError",
+    "NativePlan",
     "Offset",
+    "PLAN_CACHE",
     "ProgramCost",
     "ProgramError",
     "StageArena",
     "StageCost",
+    "StageSchedule",
     "Stage",
     "StencilProgram",
     "SyncTuningResult",
@@ -137,7 +163,9 @@ __all__ = [
     "autotune_blocks",
     "biharmonic",
     "candidate_shapes",
+    "clear_plan_cache",
     "compile_plan",
+    "compile_plan_native",
     "compile_plan_tiled",
     "composed_step_plans",
     "compile_program",
@@ -161,11 +189,15 @@ __all__ = [
     "load_program",
     "lint_program",
     "liveness_spans",
+    "lower_plan",
     "measured_objective",
+    "native_available",
     "neg",
     "plan_blocks",
     "plan_blocks_exact",
+    "plan_cache_stats",
     "plan_flops",
+    "program_fingerprint",
     "program_from_dict",
     "program_to_dict",
     "pos",

@@ -7,16 +7,22 @@ plain Python function whose body is straight-line NumPy code with constant
 slice bounds — no tree walking, no box arithmetic, no dictionary lookups in
 the hot path.
 
-The generated code is three-address form: every operator node becomes one
-ufunc call writing into an explicit ``out=`` destination — either the
-stage's output array or a numbered scratch slot handed out by a
-:class:`Workspace`.  Scratch slots are register-allocated at compile time
-(released the moment their consumer has fired), so a whole MPDATA step
-needs only a handful of flat buffers.  Because the generated statements
-call the **same ufuncs in the same order** as the interpreter's arena
-evaluator (``np.add(a, b, out=...)`` for ``Binary("add", a, b)`` and so
-on), compiled execution is bit-identical to interpreted execution; a
-property test pins this.
+Lowering to three-address form — one elementwise op per statement with an
+explicit destination, scratch slots register-allocated at compile time —
+lives in :mod:`repro.stencil.lowering`; this module is the NumPy *emitter*
+over that kernel IR.  Every :class:`~repro.stencil.lowering.UnaryOp` /
+``BinaryOp`` becomes one ufunc call writing into an explicit ``out=``
+destination — either the stage's output array or a numbered scratch slot
+served by a :class:`Workspace` — and every ``SelectOp`` becomes the
+comparison + two masked copies the interpreter's arena evaluator performs.
+Because the generated statements call the **same ufuncs in the same
+order** as ``Expr._eval_into``, compiled execution is bit-identical to
+interpreted execution; a property test pins this.
+
+Compiled artifacts (source + code object) are cached process-wide by
+(program fingerprint, plan geometry, dtype, timed) — see
+:mod:`repro.stencil.plancache` — so rebuilding a runner with the same
+configuration reuses them instead of re-lowering and re-compiling.
 
 By default every call uses a fresh workspace (results are independent
 arrays, as before).  Compiling with ``reuse_buffers=True`` — or flipping
@@ -40,9 +46,18 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from .expr import Access, Binary, Const, Expr, Offset, Unary, Where
 from .halo import HaloPlan, required_regions
 from .interpreter import ArrayRegion
+from .lowering import (
+    BinaryOp,
+    CopyOp,
+    KernelIR,
+    KernelOp,
+    SelectOp,
+    UnaryOp,
+    lower_plan,
+)
+from .plancache import PLAN_CACHE, plan_geometry_key, program_fingerprint
 from .program import StencilProgram
 from .region import Box
 
@@ -316,107 +331,6 @@ class CompiledPlan:
         return results
 
 
-class _SlotAllocator:
-    """Compile-time register allocation for scratch / mask slots."""
-
-    def __init__(self, prefix: str) -> None:
-        self.prefix = prefix
-        self._free: List[int] = []
-        self.high_water = 0
-        self.used: set = set()
-
-    def acquire(self) -> int:
-        if self._free:
-            slot = self._free.pop()
-        else:
-            slot = self.high_water
-            self.high_water += 1
-        self.used.add(slot)
-        return slot
-
-    def release(self, slot: Optional[int]) -> None:
-        if slot is not None:
-            self._free.append(slot)
-
-    def name(self, slot: int) -> str:
-        return f"{self.prefix}{slot}"
-
-
-def _render_statements(
-    expr: Expr,
-    views: Dict[Tuple[str, Offset], str],
-    statements: List[str],
-    floats: _SlotAllocator,
-    masks: _SlotAllocator,
-    dest: Optional[str],
-) -> Tuple[str, Optional[int]]:
-    """Emit three-address statements computing ``expr``.
-
-    Returns ``(value_source, slot)`` where ``value_source`` names the array
-    (or literal) holding the result and ``slot`` is the float scratch slot
-    backing it (None for leaves and for results written into ``dest``).
-    Mirrors ``Expr._eval_into``: same ufuncs, same order, same selection
-    lowering — which is what keeps compiled and interpreted bits equal.
-    """
-    if isinstance(expr, Const):
-        return repr(expr.value), None
-    if isinstance(expr, Access):
-        return views[(expr.field, expr.offset)], None
-
-    def destination() -> Tuple[str, Optional[int]]:
-        if dest is not None:
-            return dest, None
-        slot = floats.acquire()
-        return floats.name(slot), slot
-
-    if isinstance(expr, Unary):
-        operand, operand_slot = _render_statements(
-            expr.operand, views, statements, floats, masks, None
-        )
-        out_name, out_slot = destination()
-        statements.append(f"{_UNARY_SOURCE[expr.op]}({operand}, out={out_name})")
-        floats.release(operand_slot)
-        return out_name, out_slot
-    if isinstance(expr, Binary):
-        left, left_slot = _render_statements(
-            expr.left, views, statements, floats, masks, None
-        )
-        right, right_slot = _render_statements(
-            expr.right, views, statements, floats, masks, None
-        )
-        out_name, out_slot = destination()
-        statements.append(
-            f"{_BINARY_SOURCE[expr.op]}({left}, {right}, out={out_name})"
-        )
-        floats.release(left_slot)
-        floats.release(right_slot)
-        return out_name, out_slot
-    if isinstance(expr, Where):
-        cond, cond_slot = _render_statements(
-            expr.condition, views, statements, floats, masks, None
-        )
-        if_true, true_slot = _render_statements(
-            expr.if_true, views, statements, floats, masks, None
-        )
-        if_false, false_slot = _render_statements(
-            expr.if_false, views, statements, floats, masks, None
-        )
-        mask_slot = masks.acquire()
-        mask_name = masks.name(mask_slot)
-        out_name, out_slot = destination()
-        # np.where has no out=; comparison + two masked copies selects the
-        # identical value per element (see Where._eval_into).
-        statements.append(f"np.greater({cond}, 0.0, out={mask_name})")
-        statements.append(f"np.copyto({out_name}, {if_false})")
-        statements.append(f"np.copyto({out_name}, {if_true}, where={mask_name})")
-        masks.release(mask_slot)
-        floats.release(cond_slot)
-        floats.release(true_slot)
-        floats.release(false_slot)
-        return out_name, out_slot
-    raise TypeError(f"cannot compile expression node {type(expr).__name__}")
-
-
 def _slice_source(read_box: Box, anchor: Box) -> str:
     parts = []
     for axis in range(3):
@@ -424,6 +338,71 @@ def _slice_source(read_box: Box, anchor: Box) -> str:
         stop = read_box.hi[axis] - anchor.lo[axis]
         parts.append(f"{start}:{stop}")
     return "[" + ", ".join(parts) + "]"
+
+
+def _op_statements(op: KernelOp) -> List[str]:
+    """The NumPy statement(s) realizing one kernel-IR op."""
+    if isinstance(op, UnaryOp):
+        return [f"{_UNARY_SOURCE[op.op]}({op.operand.text}, out={op.dest.text})"]
+    if isinstance(op, BinaryOp):
+        return [
+            f"{_BINARY_SOURCE[op.op]}({op.left.text}, {op.right.text}, "
+            f"out={op.dest.text})"
+        ]
+    if isinstance(op, SelectOp):
+        # np.where has no out=; comparison + two masked copies selects the
+        # identical value per element (see Where._eval_into).
+        return [
+            f"np.greater({op.condition.text}, 0.0, out={op.mask.text})",
+            f"np.copyto({op.dest.text}, {op.if_false.text})",
+            f"np.copyto({op.dest.text}, {op.if_true.text}, where={op.mask.text})",
+        ]
+    if isinstance(op, CopyOp):
+        # Leaf root (pure copy stage): materialize into the output.
+        return [f"np.copyto({op.dest.text}, {op.source.text})"]
+    raise TypeError(f"cannot emit kernel op {type(op).__name__}")
+
+
+def _emit_numpy_source(ir: KernelIR, timed: bool) -> Tuple[str, Tuple[str, ...]]:
+    """Render a kernel IR to the straight-line NumPy step function.
+
+    Returns ``(source, timed_stage_names)``.  The emission is a pure walk
+    over the IR — every lowering decision (slot numbering, statement
+    order, view naming) was already made by :func:`lower_plan`.
+    """
+    lines: List[str] = []
+    signature = ", ".join(sorted(ir.input_anchors))
+    lines.append(f"def _step({signature}):")
+    lines.append("    _w = _ws()")
+    if timed:
+        lines.append("    _t = _clock()")
+    if not ir.stages:
+        lines.append("    return {}")
+    produced: List[str] = []
+    timed_names: List[str] = []
+    for sched in ir.stages:
+        lines.append(f"    # stage {sched.index + 1}: {sched.name} -> {sched.output}")
+        for view in sched.views:
+            lines.append(
+                f"    {view.symbol} = {view.field}"
+                f"{_slice_source(view.read_box, ir.anchors[view.field])}"
+            )
+        shape = sched.shape
+        lines.append(f"    {sched.output} = _w.out({sched.output!r}, {shape})")
+        for slot in sched.float_slots:
+            lines.append(f"    _s{slot} = _w.scratch({slot}, {shape})")
+        for slot in sched.mask_slots:
+            lines.append(f"    _m{slot} = _w.mask({slot}, {shape})")
+        for op in sched.ops:
+            for statement in _op_statements(op):
+                lines.append(f"    {statement}")
+        if timed:
+            lines.append(f"    _t = _rec({len(timed_names)}, _t)")
+            timed_names.append(sched.name)
+        produced.append(sched.output)
+    items = ", ".join(f"{name!r}: {name}" for name in produced)
+    lines.append(f"    return {{{items}}}")
+    return "\n".join(lines), tuple(timed_names)
 
 
 def compile_plan(
@@ -447,93 +426,30 @@ def compile_plan(
     :attr:`CompiledPlan.stage_seconds` accumulates per-stage wall time
     (one extra clock read per stage per call).  ``workspace_max_elems``
     sizes every workspace the plan creates — see :class:`Workspace`.
+
+    Source and code object are served from the process-wide plan cache
+    when an identical (program, plan, dtype, timed) combination was
+    compiled before; each call still gets its own function object and
+    workspace cell, so cached plans never share buffers.
     """
-    for declared in program.fields:
-        if not declared.name.isidentifier() or declared.name.startswith("_") or (
-            declared.name in ("np",)
-        ):
-            raise ValueError(
-                f"field name {declared.name!r} cannot be compiled to an "
-                "identifier; rename the field"
-            )
+    cache_key = (
+        "numpy",
+        program_fingerprint(program),
+        plan_geometry_key(plan),
+        np.dtype(dtype).str,
+        bool(timed),
+    )
 
-    # Anchor boxes: inputs are re-anchored to exactly their required
-    # regions, produced fields to their stage compute boxes.
-    anchors: Dict[str, Box] = {}
-    input_anchors: Dict[str, Box] = {}
-    for declared in program.input_fields:
-        box = plan.input_boxes.get(declared.name)
-        if box is None or box.is_empty():
-            continue
-        anchors[declared.name] = box
-        input_anchors[declared.name] = box
-    for index, stage in enumerate(program.stages):
-        box = plan.stage_boxes[index]
-        if not box.is_empty():
-            anchors[stage.output] = box
+    def _build() -> Tuple[str, Tuple[str, ...], Dict[str, Box], "object"]:
+        ir = lower_plan(program, plan)
+        source, timed_names = _emit_numpy_source(ir, timed)
+        code = compile(source, f"<stencil:{program.name}>", "exec")
+        return source, timed_names, dict(ir.input_anchors), code
 
-    lines: List[str] = []
-    signature = ", ".join(sorted(input_anchors))
-    lines.append(f"def _step({signature}):")
-    lines.append("    _w = _ws()")
-    if timed:
-        lines.append("    _t = _clock()")
-    if not any(not b.is_empty() for b in plan.stage_boxes):
-        lines.append("    return {}")
-    view_counter = 0
-    produced: List[str] = []
-    timed_names: List[str] = []
-    for index, stage in enumerate(program.stages):
-        compute = plan.stage_boxes[index]
-        if compute.is_empty():
-            continue
-        lines.append(f"    # stage {index + 1}: {stage.name} -> {stage.output}")
-        views: Dict[Tuple[str, Offset], str] = {}
-        for field_name in stage.reads:
-            for offset in sorted(stage.footprint[field_name]):
-                read_box = compute.shift(offset)
-                if not anchors[field_name].contains(read_box):
-                    # Mirrors the interpreter's runtime check: a clipped
-                    # plan whose reads escape the available data cannot be
-                    # executed — the caller must provide ghost layers
-                    # (negative slice starts would silently wrap).
-                    raise ValueError(
-                        f"stage {stage.name!r} reads {field_name!r} over "
-                        f"{read_box}, outside the available region "
-                        f"{anchors[field_name]}; provide ghost data (see "
-                        "repro.mpdata.boundary)"
-                    )
-                view_name = f"_v{view_counter}"
-                view_counter += 1
-                views[(field_name, offset)] = view_name
-                lines.append(
-                    f"    {view_name} = {field_name}"
-                    f"{_slice_source(read_box, anchors[field_name])}"
-                )
-        shape = compute.shape
-        floats = _SlotAllocator("_s")
-        masks = _SlotAllocator("_m")
-        statements: List[str] = []
-        value, _ = _render_statements(
-            stage.expr, views, statements, floats, masks, dest=stage.output
-        )
-        if value != stage.output:
-            # Leaf root (pure copy stage): materialize into the output.
-            statements.append(f"np.copyto({stage.output}, {value})")
-        lines.append(f"    {stage.output} = _w.out({stage.output!r}, {shape})")
-        for slot in sorted(floats.used):
-            lines.append(f"    _s{slot} = _w.scratch({slot}, {shape})")
-        for slot in sorted(masks.used):
-            lines.append(f"    _m{slot} = _w.mask({slot}, {shape})")
-        for statement in statements:
-            lines.append(f"    {statement}")
-        if timed:
-            lines.append(f"    _t = _rec({len(timed_names)}, _t)")
-            timed_names.append(stage.name)
-        produced.append(stage.output)
-    items = ", ".join(f"{name!r}: {name}" for name in produced)
-    lines.append(f"    return {{{items}}}")
-    source = "\n".join(lines)
+    (source, timed_names, input_anchors, code), _ = PLAN_CACHE.get_or_build(
+        cache_key, _build
+    )
+    input_anchors = dict(input_anchors)
 
     workspace_cell: List[Optional[Workspace]] = [
         Workspace(dtype, workspace_max_elems) if reuse_buffers else None,
@@ -568,7 +484,7 @@ def compile_plan(
 
         namespace["_clock"] = clock
         namespace["_rec"] = _rec
-    exec(compile(source, f"<stencil:{program.name}>", "exec"), namespace)
+    exec(code, namespace)
     return CompiledPlan(
         program=program,
         plan=plan,

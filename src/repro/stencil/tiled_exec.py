@@ -46,6 +46,7 @@ import numpy as np
 
 from .codegen import CompiledPlan, Workspace, compile_plan
 from .halo import HaloPlan, required_regions
+from .plancache import PLAN_CACHE
 from .interpreter import ArrayRegion
 from .program import StencilProgram
 from .region import Box
@@ -128,6 +129,10 @@ class TiledPlan:
         self.last_block_seconds: Optional[Tuple[float, ...]] = None
         #: Wall seconds of the most recent whole sweep (timed plans only).
         self.last_sweep_seconds: Optional[float] = None
+        #: Plan-cache hits/misses attributed to this plan's compilation
+        #: (filled by :func:`compile_plan_tiled`).
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -314,6 +319,7 @@ def compile_plan_tiled(
             f"block plan tiles {block_plan.domain} but the halo plan "
             f"targets {plan.target}; they must match"
         )
+    cache_before = PLAN_CACHE.stats()
     tasks: List[BlockTask] = []
     for index, block in enumerate(block_plan.blocks):
         block_halo = required_regions(program, block, domain=clip_domain)
@@ -331,7 +337,8 @@ def compile_plan_tiled(
         if reuse_buffers:
             compiled.use_workspace(Workspace(dtype, max_elems=largest or None))
         tasks.append(BlockTask(index, block, block_halo, compiled))
-    return TiledPlan(
+    cache_after = PLAN_CACHE.stats()
+    tiled = TiledPlan(
         program,
         plan,
         block_plan,
@@ -340,3 +347,6 @@ def compile_plan_tiled(
         timed=timed,
         dtype=dtype,
     )
+    tiled.plan_cache_hits = cache_after["hits"] - cache_before["hits"]
+    tiled.plan_cache_misses = cache_after["misses"] - cache_before["misses"]
+    return tiled

@@ -26,6 +26,7 @@ from repro.runtime import (
     StepEvent,
     TableSink,
     Telemetry,
+    native_available,
 )
 
 SHAPE = (16, 12, 8)
@@ -175,15 +176,20 @@ class TestBackendRegistryBitIdentical:
             "compiled": EngineConfig(backend="compiled"),
             "tiled": EngineConfig(backend="tiled", block_shape=(8, 6, 8)),
             "procs": EngineConfig(backend="procs", workers=2),
+            "native": EngineConfig(backend="native"),
         }
         assert set(configs) == set(BACKEND_KEYS)
+        if not native_available():
+            del configs["native"]
         finals = {key: _trajectory(cfg) for key, cfg in configs.items()}
         reference = finals["interpreter"]
-        for key in BACKEND_KEYS:
+        for key in finals:
             assert np.array_equal(finals[key], reference), key
 
     def test_steady_state_allocation_free_for_every_backend(self):
         for key in BACKEND_KEYS:
+            if key == "native" and not native_available():
+                continue
             block = (8, 6, 8) if key == "tiled" else None
             config = EngineConfig(
                 backend=key, block_shape=block, reuse_output=True

@@ -26,6 +26,7 @@ from repro.runtime import (
     RecoveryPolicy,
     TableSink,
     Telemetry,
+    native_available,
 )
 from repro.runtime.procs import DeadlineClock
 from repro.stencil import tune_sync_every
@@ -64,6 +65,10 @@ class TestBitIdentityMatrix:
 
     @pytest.mark.parametrize("backend", [
         "interpreter", "compiled", "tiled", "procs",
+        pytest.param("native", marks=pytest.mark.skipif(
+            not native_available(),
+            reason="needs cffi and a system C compiler",
+        )),
     ])
     @pytest.mark.parametrize("halo", ["recompute", "exchange", "hybrid"])
     @pytest.mark.parametrize("sync_every", [1, 2, 4])
